@@ -1,0 +1,180 @@
+//! Regenerates every table and figure of the paper in one pass.
+//!
+//! This is a `harness = false` bench target so `cargo bench --workspace`
+//! prints the full evaluation. It is a compact version of the individual
+//! binaries (`figure1`, `figure2`, `table1`, `table2`, `figure7`,
+//! `figure8`, `figure9`, `ablations`); run those for the detailed output.
+
+use freeride_bench::{
+    all_methods, baseline_of, eval_method, header, main_pipeline, paper_table1,
+    paper_table2, paper_table2_mixed,
+};
+use freeride_core::{run_baseline, run_colocation, FreeRideConfig, Submission};
+use freeride_pipeline::{run_training, ModelSpec, PipelineConfig, ScheduleKind};
+use freeride_tasks::WorkloadKind;
+
+const EPOCHS: usize = 13;
+
+fn main() {
+    println!("FreeRide paper experiments (epochs per run: {EPOCHS})");
+
+    figure1_and_2();
+    table1();
+    table2_and_figure9();
+    figure7();
+    println!();
+    println!("(figure8 and ablations have dedicated binaries: `cargo run --release");
+    println!(" -p freeride-bench --bin figure8` / `--bin ablations`)");
+}
+
+fn figure1_and_2() {
+    header("Figures 1 & 2: bubbles in pipeline parallelism");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "model", "epoch", "bubble rate", "dur min", "dur max", "stage0 free"
+    );
+    for m in [
+        ModelSpec::nanogpt_1_2b(),
+        ModelSpec::nanogpt_3_6b(),
+        ModelSpec::nanogpt_6b(),
+    ] {
+        let cfg = PipelineConfig::paper_default(m).with_epochs(3);
+        let run = run_training(&cfg, ScheduleKind::OneFOneB);
+        println!(
+            "{:<8} {:>9.2}s {:>11.1}% {:>12} {:>12} {:>12}",
+            format!("{}B", m.params_b),
+            run.epoch_times[0].as_secs_f64(),
+            run.bubble_stats.bubble_rate * 100.0,
+            format!("{}", run.profile.min_duration().unwrap()),
+            format!("{}", run.profile.max_duration().unwrap()),
+            format!("{}", cfg.stage_free_memory(0)),
+        );
+    }
+    let mb8 = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+        .with_micro_batches(8)
+        .with_epochs(3);
+    let run = run_training(&mb8, ScheduleKind::OneFOneB);
+    println!(
+        "3.6B with 8 micro-batches: bubble rate {:.1}% (paper 26.2%)",
+        run.bubble_stats.bubble_rate * 100.0
+    );
+}
+
+fn table1() {
+    header("Table 1: side-task throughput ratios (bubbles vs Server-II vs CPU)");
+    let pipeline = main_pipeline(EPOCHS);
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10}",
+        "task", "x Server-II", "(paper)", "x CPU", "(paper)"
+    );
+    for kind in WorkloadKind::ALL {
+        let run = run_colocation(
+            &pipeline,
+            &FreeRideConfig::iterative(),
+            &Submission::per_worker(kind, 4),
+        );
+        let steps: u64 = run.tasks.iter().map(|t| t.steps).sum();
+        let thr = steps as f64 / run.total_time.as_secs_f64();
+        let p = kind.profile();
+        let (pb, ps2, pcpu) = paper_table1(kind);
+        println!(
+            "{:<10} {:>11.2}x {:>9.2}x {:>9.1}x {:>9.1}x",
+            kind.name(),
+            thr * p.step_server2.as_secs_f64(),
+            pb / ps2,
+            thr * p.step_cpu.as_secs_f64(),
+            pb / pcpu
+        );
+    }
+}
+
+fn table2_and_figure9() {
+    header("Table 2: I / S per method (paper values in parentheses)  +  Figure 9 breakdown");
+    let pipeline = main_pipeline(EPOCHS);
+    let baseline = baseline_of(&pipeline);
+    for kind in WorkloadKind::ALL {
+        let subs = Submission::per_worker(kind, 4);
+        print!("{:<10}", kind.name());
+        for (name, cfg) in all_methods() {
+            let row = eval_method(&pipeline, name, &cfg, &subs, baseline);
+            let (pi, ps) = paper_table2(kind, name).unwrap();
+            print!(
+                "  I {:>5.1} ({:>5.1}) S {:>6.1} ({:>6.1})",
+                row.report.time_increase * 100.0,
+                pi,
+                row.report.cost_savings * 100.0,
+                ps
+            );
+        }
+        println!();
+        let fr = run_colocation(&pipeline, &FreeRideConfig::iterative(), &subs);
+        let f = fr.breakdown.fractions();
+        println!(
+            "           fig9: running {:.0}% runtime {:.0}% insufficient {:.0}% oom {:.0}%",
+            f.running * 100.0,
+            f.runtime * 100.0,
+            f.insufficient * 100.0,
+            f.unused_oom * 100.0
+        );
+    }
+    print!("{:<10}", "Mixed");
+    for (name, cfg) in all_methods() {
+        let row = eval_method(&pipeline, name, &cfg, &Submission::mixed(), baseline);
+        let (pi, ps) = paper_table2_mixed(name).unwrap();
+        print!(
+            "  I {:>5.1} ({:>5.1}) S {:>6.1} ({:>6.1})",
+            row.report.time_increase * 100.0,
+            pi,
+            row.report.cost_savings * 100.0,
+            ps
+        );
+    }
+    println!();
+}
+
+fn figure7() {
+    header("Figure 7: sensitivity (iterative interface, condensed)");
+    let cfg = FreeRideConfig::iterative();
+    println!("(a,b) ResNet18 batch sweep:");
+    let pipeline = main_pipeline(EPOCHS);
+    let baseline = run_baseline(&pipeline);
+    for batch in [16usize, 64, 128] {
+        let subs: Vec<Submission> = (0..4)
+            .map(|_| Submission::new(WorkloadKind::ResNet18).with_batch(batch))
+            .collect();
+        let run = run_colocation(&pipeline, &cfg, &subs);
+        let r = freeride_core::evaluate(baseline, run.total_time, &run.work());
+        println!(
+            "  batch {batch:>3}: I {:>5.1}%  S {:>5.1}%",
+            r.time_increase * 100.0,
+            r.cost_savings * 100.0
+        );
+    }
+    println!("(c,d) model-size sweep (PageRank):");
+    for params in [1.2f64, 3.6, 6.0] {
+        let p = PipelineConfig::paper_default(ModelSpec::by_params_b(params))
+            .with_epochs(EPOCHS);
+        let b = run_baseline(&p);
+        let run = run_colocation(&p, &cfg, &Submission::per_worker(WorkloadKind::PageRank, 4));
+        let r = freeride_core::evaluate(b, run.total_time, &run.work());
+        println!(
+            "  {params:>3}B: I {:>5.1}%  S {:>5.1}%",
+            r.time_increase * 100.0,
+            r.cost_savings * 100.0
+        );
+    }
+    println!("(e,f) micro-batch sweep (PageRank):");
+    for mb in [4usize, 6, 8] {
+        let p = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+            .with_micro_batches(mb)
+            .with_epochs(EPOCHS);
+        let b = run_baseline(&p);
+        let run = run_colocation(&p, &cfg, &Submission::per_worker(WorkloadKind::PageRank, 4));
+        let r = freeride_core::evaluate(b, run.total_time, &run.work());
+        println!(
+            "  mb {mb}: I {:>5.1}%  S {:>5.1}%",
+            r.time_increase * 100.0,
+            r.cost_savings * 100.0
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Table 2 — time increase `I` (lower is better) and cost savings `S`
+//! (higher is better) of running DeepSpeed with side tasks under FreeRide
+//! (iterative, imperative) and the two baselines (MPS, naive co-location),
+//! for each of the six workloads and the mixed workload.
+//!
+//! Run: `cargo run --release -p freeride-bench --bin table2 [epochs]`
+
+use freeride_bench::{
+    all_methods, baseline_of, epochs_from_args, eval_method, header, main_pipeline,
+    paper_table2, paper_table2_mixed,
+};
+use freeride_core::Submission;
+use freeride_tasks::WorkloadKind;
+
+fn main() {
+    let pipeline = main_pipeline(epochs_from_args());
+    let baseline = baseline_of(&pipeline);
+
+    header("Table 2: time increase I and cost savings S");
+    println!(
+        "{:<10} {:<20} {:>8} {:>9} {:>9} {:>9}",
+        "Side task", "method", "I%", "paper I%", "S%", "paper S%"
+    );
+
+    let mut iter_i = Vec::new();
+    let mut iter_s = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for (name, cfg) in all_methods() {
+            let row = eval_method(
+                &pipeline,
+                name,
+                &cfg,
+                &Submission::per_worker(kind, 4),
+                baseline,
+            );
+            let (pi, ps) = paper_table2(kind, name).expect("paper cell");
+            if name == "FreeRide-Iterative" {
+                iter_i.push(row.report.time_increase);
+                iter_s.push(row.report.cost_savings);
+            }
+            println!(
+                "{:<10} {:<20} {:>7.1} {:>9.1} {:>8.1} {:>9.1}",
+                kind.name(),
+                name,
+                row.report.time_increase * 100.0,
+                pi,
+                row.report.cost_savings * 100.0,
+                ps
+            );
+        }
+        println!();
+    }
+
+    header("Mixed workload (PageRank, ResNet18, Image, VGG19 - one per worker)");
+    for (name, cfg) in all_methods() {
+        let row = eval_method(&pipeline, name, &cfg, &Submission::mixed(), baseline);
+        let (pi, ps) = paper_table2_mixed(name).expect("paper cell");
+        println!(
+            "{:<10} {:<20} {:>7.1} {:>9.1} {:>8.1} {:>9.1}",
+            "Mixed",
+            name,
+            row.report.time_increase * 100.0,
+            pi,
+            row.report.cost_savings * 100.0,
+            ps
+        );
+    }
+
+    header("Headline averages (iterative interface)");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "average I = {:.1}% (paper 1.1%), average S = {:.1}% (paper 7.8%)",
+        mean(&iter_i) * 100.0,
+        mean(&iter_s) * 100.0
+    );
+}

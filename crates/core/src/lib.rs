@@ -1,0 +1,67 @@
+//! # freeride-core — the FreeRide middleware
+//!
+//! This crate is the paper's primary contribution, reproduced in full:
+//!
+//! * the **side-task state machine** of Fig. 4 ([`SideTaskState`],
+//!   [`Transition`]);
+//! * the **iterative and imperative programming interfaces** of §4.2
+//!   (worker-driven stepping with the program-directed remaining-time
+//!   check, and signal-style pausing with unstoppable in-flight kernels);
+//! * the **side-task manager** of §4.4, implementing Algorithms 1 and 2
+//!   verbatim ([`SideTaskManager`]);
+//! * per-GPU **side-task workers** with MPS memory caps, container
+//!   isolation, and the **framework-enforced grace-period kill** of §4.5
+//!   ([`Worker`]);
+//! * the **orchestrator** wiring the instrumented pipeline trainer,
+//!   manager, and workers together over latency-modelled RPC
+//!   ([`run_colocation`]);
+//! * the **baselines** of §6.1.2 (MPS and naive co-location) and the
+//!   **metrics** of §6.1.5 (time increase `I`, cost savings `S`, Fig. 9
+//!   bubble accounting).
+//!
+//! ## Example: harvest bubbles with four PageRank side tasks
+//!
+//! ```
+//! use freeride_core::{run_baseline, run_colocation, evaluate, FreeRideConfig,
+//!                     Submission};
+//! use freeride_pipeline::{ModelSpec, PipelineConfig};
+//! use freeride_tasks::WorkloadKind;
+//!
+//! let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+//!     .with_epochs(3);
+//! let baseline = run_baseline(&pipeline);
+//! let run = run_colocation(
+//!     &pipeline,
+//!     &FreeRideConfig::iterative(),
+//!     &Submission::per_worker(WorkloadKind::PageRank, 4),
+//! );
+//! let report = evaluate(baseline, run.total_time, &run.work());
+//! assert!(report.time_increase < 0.05, "FreeRide overhead stays low");
+//! assert!(report.cost_savings > 0.0, "harvesting bubbles pays");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod manager;
+mod metrics;
+mod orchestrator;
+mod profiler;
+mod state;
+mod task;
+mod worker;
+
+pub use config::{ColocationMode, FreeRideConfig, InterfaceKind};
+pub use manager::{ManagerCmd, PlacementPolicy, Rejected, SideTaskManager, WorkerMeta};
+pub use metrics::{
+    evaluate, time_increase, BreakdownFractions, BubbleBreakdown, CostReport, TaskWork,
+};
+pub use orchestrator::{
+    run_baseline, run_baseline_with, run_colocation, ColocationRun, Submission,
+    TaskSummary,
+};
+pub use profiler::{profile_side_task, MeasuredProfile};
+pub use state::{next_state, IllegalTransition, SideTaskState, StateMachine, Transition};
+pub use task::{Misbehavior, SideTask, StopReason, TaskId};
+pub use worker::{Worker, WorkerAccounting, WorkerEffect};

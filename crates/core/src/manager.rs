@@ -1,0 +1,599 @@
+//! The side-task manager: Algorithm 1 (placement) and Algorithm 2 (bubble
+//! and task lifecycle management), §4.4 of the paper.
+//!
+//! The manager is deliberately a pure state machine: it consumes task
+//! submissions, bubble reports, and task-state acknowledgements, and emits
+//! [`ManagerCmd`]s that the orchestrator delivers to workers over RPC. All
+//! the paper's per-worker metadata — `GPUMem`, `TaskQueue`, `CurrentTask`,
+//! `CurrentBubble` — lives here, named identically.
+
+use crate::state::SideTaskState;
+use crate::task::TaskId;
+use freeride_gpu::MemBytes;
+use freeride_pipeline::BubbleReport;
+use freeride_sim::SimTime;
+use std::collections::VecDeque;
+
+/// A command the manager wants delivered to a worker (as an RPC).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ManagerCmd {
+    /// Create the side-task process (`CreateSideTask()`).
+    Create {
+        /// Target worker index.
+        worker: usize,
+        /// Task to create.
+        task: TaskId,
+    },
+    /// Load the task's context onto the GPU (`InitSideTask()`).
+    Init {
+        /// Target worker index.
+        worker: usize,
+        /// Task to initialise.
+        task: TaskId,
+    },
+    /// Start running in the current bubble (`StartSideTask()`); carries
+    /// the bubble's predicted end for the program-directed mechanism.
+    Start {
+        /// Target worker index.
+        worker: usize,
+        /// Task to start.
+        task: TaskId,
+        /// Predicted end of the bubble being served.
+        bubble_end: SimTime,
+    },
+    /// Pause at bubble end (`PauseSideTask()`).
+    Pause {
+        /// Target worker index.
+        worker: usize,
+        /// Task to pause.
+        task: TaskId,
+    },
+    /// Terminate (`StopSideTask()`).
+    Stop {
+        /// Target worker index.
+        worker: usize,
+        /// Task to stop.
+        task: TaskId,
+    },
+}
+
+/// Why a submission was rejected (Algorithm 1, line 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+impl core::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no worker has enough bubble GPU memory")
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+#[derive(Debug, Clone)]
+struct TaskView {
+    id: TaskId,
+    mem: MemBytes,
+    state: SideTaskState,
+    /// A command was issued and its acknowledgement is pending; suppresses
+    /// duplicate RPCs across poll iterations.
+    awaiting_ack: bool,
+}
+
+/// Per-worker metadata, named after the paper's fields (§4.4).
+#[derive(Debug)]
+pub struct WorkerMeta {
+    /// Available GPU memory during this worker's bubbles.
+    pub gpu_mem: MemBytes,
+    /// Queue of side tasks ordered by submission timestamp.
+    task_queue: VecDeque<TaskView>,
+    /// The side task currently served.
+    current_task: Option<TaskView>,
+    /// The bubble currently valid.
+    current_bubble: Option<BubbleReport>,
+    /// Bubbles reported but not yet adopted.
+    incoming: VecDeque<BubbleReport>,
+}
+
+impl WorkerMeta {
+    fn new(gpu_mem: MemBytes) -> Self {
+        WorkerMeta {
+            gpu_mem,
+            task_queue: VecDeque::new(),
+            current_task: None,
+            current_bubble: None,
+            incoming: VecDeque::new(),
+        }
+    }
+
+    /// `Worker.GetTaskNum()`: tasks assigned (queued + current).
+    pub fn task_count(&self) -> usize {
+        self.task_queue.len() + usize::from(self.current_task.is_some())
+    }
+
+    /// The task currently served, if any.
+    pub fn current_task_id(&self) -> Option<TaskId> {
+        self.current_task.as_ref().map(|t| t.id)
+    }
+
+    /// The bubble currently valid, if any.
+    pub fn current_bubble(&self) -> Option<&BubbleReport> {
+        self.current_bubble.as_ref()
+    }
+
+    fn view_mut(&mut self, id: TaskId) -> Option<&mut TaskView> {
+        if let Some(cur) = self.current_task.as_mut() {
+            if cur.id == id {
+                return Some(cur);
+            }
+        }
+        self.task_queue.iter_mut().find(|t| t.id == id)
+    }
+}
+
+/// How Algorithm 1 chooses among workers with enough bubble memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// The paper's policy: fewest assigned tasks wins (lines 6–9).
+    #[default]
+    MinTasks,
+    /// Ablation: first qualifying worker wins (no load balancing).
+    FirstFit,
+    /// Ablation: most bubble memory wins (best-fit-decreasing flavour).
+    MostMemory,
+}
+
+/// The side-task manager.
+pub struct SideTaskManager {
+    workers: Vec<WorkerMeta>,
+    policy: PlacementPolicy,
+}
+
+impl SideTaskManager {
+    /// Creates a manager for workers with the given bubble memory sizes
+    /// (one worker per GPU/stage, in stage order).
+    pub fn new(worker_mem: Vec<MemBytes>) -> Self {
+        assert!(!worker_mem.is_empty(), "need at least one worker");
+        SideTaskManager {
+            workers: worker_mem.into_iter().map(WorkerMeta::new).collect(),
+            policy: PlacementPolicy::MinTasks,
+        }
+    }
+
+    /// Overrides the placement policy (builder style; ablation).
+    pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Worker metadata (read-only view for accounting and tests).
+    pub fn worker(&self, idx: usize) -> &WorkerMeta {
+        &self.workers[idx]
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// **Algorithm 1** — places a new task on the worker with enough
+    /// bubble memory and the fewest assigned tasks; rejects if none
+    /// qualifies. On success the task enters the worker's queue and a
+    /// `Create` command is emitted.
+    pub fn submit(&mut self, id: TaskId, mem: MemBytes) -> Result<(usize, ManagerCmd), Rejected> {
+        let mut selected: Option<usize> = None;
+        let mut best_key = (usize::MAX, MemBytes::ZERO);
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.gpu_mem > mem {
+                match self.policy {
+                    PlacementPolicy::MinTasks => {
+                        let n = w.task_count();
+                        if n < best_key.0 {
+                            best_key.0 = n;
+                            selected = Some(i);
+                        }
+                    }
+                    PlacementPolicy::FirstFit => {
+                        selected = Some(i);
+                        break;
+                    }
+                    PlacementPolicy::MostMemory => {
+                        if w.gpu_mem > best_key.1 {
+                            best_key.1 = w.gpu_mem;
+                            selected = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(worker) = selected else {
+            return Err(Rejected);
+        };
+        self.workers[worker].task_queue.push_back(TaskView {
+            id,
+            mem,
+            state: SideTaskState::Submitted,
+            awaiting_ack: true, // Create outstanding
+        });
+        Ok((worker, ManagerCmd::Create { worker, task: id }))
+    }
+
+    /// Records a bubble reported by the instrumented training system
+    /// (step ➎ of Fig. 3).
+    pub fn add_bubble(&mut self, worker: usize, report: BubbleReport) {
+        self.workers[worker].incoming.push_back(report);
+    }
+
+    /// Updates the manager's view of a task's state (worker ack).
+    pub fn on_task_state(&mut self, worker: usize, id: TaskId, state: SideTaskState) {
+        let w = &mut self.workers[worker];
+        if let Some(view) = w.view_mut(id) {
+            view.state = state;
+            view.awaiting_ack = false;
+        }
+        // A stopped current task frees the slot for the queue
+        // (Algorithm 2, lines 11–15, on the next poll).
+        if state == SideTaskState::Stopped {
+            if w.current_task.as_ref().is_some_and(|t| t.id == id) {
+                w.current_task = None;
+            } else {
+                w.task_queue.retain(|t| t.id != id);
+            }
+        }
+    }
+
+    /// **Algorithm 2** — one iteration of the management loop. Returns the
+    /// state-transition RPCs to issue.
+    pub fn poll(&mut self, now: SimTime) -> Vec<ManagerCmd> {
+        let mut cmds = Vec::new();
+        for wi in 0..self.workers.len() {
+            let w = &mut self.workers[wi];
+
+            // Lines 4–8: the current bubble ended → pause the current task.
+            if let Some(b) = w.current_bubble {
+                if now >= b.predicted_end() {
+                    if let Some(cur) = w.current_task.as_mut() {
+                        if cur.state == SideTaskState::Running && !cur.awaiting_ack {
+                            cur.awaiting_ack = true;
+                            cmds.push(ManagerCmd::Pause {
+                                worker: wi,
+                                task: cur.id,
+                            });
+                        }
+                    }
+                    w.current_bubble = None;
+                }
+            }
+
+            // Lines 9–10: adopt a newly reported bubble (skipping any that
+            // already ended while in flight).
+            if w.current_bubble.is_none() {
+                while let Some(b) = w.incoming.pop_front() {
+                    if b.predicted_end() > now {
+                        w.current_bubble = Some(b);
+                        break;
+                    }
+                }
+            }
+
+            // Lines 11–15: pick the next task if the slot is free.
+            if w.current_task.is_none() {
+                match w.task_queue.pop_front() {
+                    None => continue,
+                    Some(next) => w.current_task = Some(next),
+                }
+            }
+
+            // Lines 16–19: advance the current task.
+            let has_bubble = w
+                .current_bubble
+                .is_some_and(|b| b.predicted_end() > now);
+            let bubble_end = w.current_bubble.map(|b| b.predicted_end());
+            let cur = w.current_task.as_mut().expect("set above");
+            if cur.awaiting_ack {
+                continue;
+            }
+            match cur.state {
+                SideTaskState::Created => {
+                    cur.awaiting_ack = true;
+                    cmds.push(ManagerCmd::Init {
+                        worker: wi,
+                        task: cur.id,
+                    });
+                }
+                SideTaskState::Paused if has_bubble => {
+                    cur.awaiting_ack = true;
+                    cmds.push(ManagerCmd::Start {
+                        worker: wi,
+                        task: cur.id,
+                        bubble_end: bubble_end.expect("has_bubble"),
+                    });
+                }
+                // Safety net: a task that became Running after its bubble
+                // already expired (Start ack raced the bubble end) must be
+                // paused, or it would run into training.
+                SideTaskState::Running if !has_bubble => {
+                    cur.awaiting_ack = true;
+                    cmds.push(ManagerCmd::Pause {
+                        worker: wi,
+                        task: cur.id,
+                    });
+                }
+                _ => {}
+            }
+        }
+        cmds
+    }
+
+    /// Issues `Stop` for every live task (end of pipeline training).
+    pub fn stop_all(&mut self) -> Vec<ManagerCmd> {
+        let mut cmds = Vec::new();
+        for (wi, w) in self.workers.iter_mut().enumerate() {
+            let stoppable = |v: &TaskView| {
+                matches!(
+                    v.state,
+                    SideTaskState::Created | SideTaskState::Paused | SideTaskState::Running
+                )
+            };
+            if let Some(cur) = w.current_task.as_mut() {
+                if stoppable(cur) {
+                    cur.awaiting_ack = true;
+                    cmds.push(ManagerCmd::Stop {
+                        worker: wi,
+                        task: cur.id,
+                    });
+                }
+            }
+            for t in w.task_queue.iter_mut() {
+                if stoppable(t) {
+                    t.awaiting_ack = true;
+                    cmds.push(ManagerCmd::Stop {
+                        worker: wi,
+                        task: t.id,
+                    });
+                }
+            }
+        }
+        cmds
+    }
+
+    /// Total memory requirement currently admitted per worker (diagnostic).
+    pub fn admitted_mem(&self, worker: usize) -> MemBytes {
+        let w = &self.workers[worker];
+        let queue: MemBytes = w.task_queue.iter().map(|t| t.mem).sum();
+        queue + w.current_task.as_ref().map_or(MemBytes::ZERO, |t| t.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeride_pipeline::BubbleKind;
+
+    fn gib(g: u64) -> MemBytes {
+        MemBytes::from_gib(g)
+    }
+
+    fn manager() -> SideTaskManager {
+        // Bubble memory like the paper's 3.6B stages: ~2, 10, 18, 26 GB.
+        SideTaskManager::new(vec![gib(2), gib(10), gib(18), gib(26)])
+    }
+
+    fn bubble(start_ms: u64, dur_ms: u64) -> BubbleReport {
+        BubbleReport {
+            stage: 0,
+            start: SimTime::from_millis(start_ms),
+            duration: freeride_sim::SimDuration::from_millis(dur_ms),
+            kind: BubbleKind::TypeB,
+            free_memory: gib(10),
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn algorithm1_picks_min_task_worker_with_enough_memory() {
+        let mut m = manager();
+        // 3 GiB task: workers 1, 2, 3 qualify; all empty → first wins.
+        let (w, cmd) = m.submit(TaskId(0), gib(3)).unwrap();
+        assert_eq!(w, 1);
+        assert_eq!(cmd, ManagerCmd::Create { worker: 1, task: TaskId(0) });
+        // Next 3 GiB task: worker 1 now has one task → worker 2.
+        let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
+        assert_eq!(w, 2);
+        let (w, _) = m.submit(TaskId(2), gib(3)).unwrap();
+        assert_eq!(w, 3);
+        // Fourth: workers 1,2,3 all have 1 → min index wins again.
+        let (w, _) = m.submit(TaskId(3), gib(3)).unwrap();
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn algorithm1_rejects_oversized_tasks() {
+        let mut m = manager();
+        assert_eq!(m.submit(TaskId(0), gib(30)).unwrap_err(), Rejected);
+        // Strict inequality: a task exactly equal to the max is rejected.
+        assert!(m.submit(TaskId(1), gib(26)).is_err());
+        assert!(m.submit(TaskId(2), gib(25)).is_ok());
+    }
+
+    #[test]
+    fn small_task_can_go_anywhere() {
+        let mut m = manager();
+        let (w, _) = m.submit(TaskId(0), gib(1)).unwrap();
+        assert_eq!(w, 0, "smallest-index empty worker");
+    }
+
+    /// Walks a task through Create→Init→Start acks.
+    fn admit_and_ready(m: &mut SideTaskManager, id: TaskId, mem: MemBytes) -> usize {
+        let (w, _) = m.submit(id, mem).unwrap();
+        m.on_task_state(w, id, SideTaskState::Created);
+        let cmds = m.poll(SimTime::ZERO);
+        assert!(cmds.contains(&ManagerCmd::Init { worker: w, task: id }), "{cmds:?}");
+        m.on_task_state(w, id, SideTaskState::Paused);
+        w
+    }
+
+    #[test]
+    fn algorithm2_full_lifecycle() {
+        let mut m = manager();
+        let id = TaskId(7);
+        let w = admit_and_ready(&mut m, id, gib(3));
+
+        // No bubble yet: nothing to do.
+        assert!(m.poll(t(10)).is_empty());
+
+        // Bubble arrives → Start with its predicted end.
+        m.add_bubble(w, bubble(10, 500));
+        let cmds = m.poll(t(11));
+        assert_eq!(
+            cmds,
+            vec![ManagerCmd::Start {
+                worker: w,
+                task: id,
+                bubble_end: t(510)
+            }]
+        );
+        m.on_task_state(w, id, SideTaskState::Running);
+
+        // While the bubble lives: nothing more.
+        assert!(m.poll(t(200)).is_empty());
+
+        // Bubble ends → Pause.
+        let cmds = m.poll(t(510));
+        assert_eq!(cmds, vec![ManagerCmd::Pause { worker: w, task: id }]);
+        m.on_task_state(w, id, SideTaskState::Paused);
+        assert!(m.worker(w).current_bubble().is_none());
+
+        // Next bubble → Start again.
+        m.add_bubble(w, bubble(600, 300));
+        let cmds = m.poll(t(601));
+        assert_eq!(
+            cmds,
+            vec![ManagerCmd::Start {
+                worker: w,
+                task: id,
+                bubble_end: t(900)
+            }]
+        );
+    }
+
+    #[test]
+    fn no_duplicate_commands_while_ack_pending() {
+        let mut m = manager();
+        let id = TaskId(1);
+        let (w, _) = m.submit(id, gib(3)).unwrap();
+        // Create ack pending: poll must not emit Init yet.
+        assert!(m.poll(t(1)).is_empty());
+        m.on_task_state(w, id, SideTaskState::Created);
+        let first = m.poll(t(2));
+        assert_eq!(first.len(), 1);
+        // Init ack still pending → no duplicate.
+        assert!(m.poll(t(3)).is_empty());
+    }
+
+    #[test]
+    fn stale_bubbles_are_skipped() {
+        let mut m = manager();
+        let id = TaskId(2);
+        let w = admit_and_ready(&mut m, id, gib(3));
+        m.add_bubble(w, bubble(0, 100)); // ends at 100
+        // Polled long after the bubble ended: no Start.
+        let cmds = m.poll(t(500));
+        assert!(cmds.is_empty(), "{cmds:?}");
+        assert!(m.worker(w).current_bubble().is_none());
+    }
+
+    #[test]
+    fn stopped_current_task_frees_slot_for_queue() {
+        let mut m = SideTaskManager::new(vec![gib(10)]);
+        let a = TaskId(1);
+        let b = TaskId(2);
+        m.submit(a, gib(3)).unwrap();
+        m.submit(b, gib(3)).unwrap();
+        m.on_task_state(0, a, SideTaskState::Created);
+        m.on_task_state(0, b, SideTaskState::Created);
+        // First poll: a becomes current, gets Init.
+        let cmds = m.poll(t(1));
+        assert_eq!(cmds, vec![ManagerCmd::Init { worker: 0, task: a }]);
+        assert_eq!(m.worker(0).current_task_id(), Some(a));
+        // a dies (e.g. OOM kill) → b takes over on the next poll.
+        m.on_task_state(0, a, SideTaskState::Stopped);
+        assert_eq!(m.worker(0).current_task_id(), None);
+        let cmds = m.poll(t(2));
+        assert_eq!(cmds, vec![ManagerCmd::Init { worker: 0, task: b }]);
+    }
+
+    #[test]
+    fn queue_is_fifo_by_submission() {
+        let mut m = SideTaskManager::new(vec![gib(10)]);
+        for i in 0..3 {
+            m.submit(TaskId(i), gib(1)).unwrap();
+            m.on_task_state(0, TaskId(i), SideTaskState::Created);
+        }
+        m.poll(t(1));
+        assert_eq!(m.worker(0).current_task_id(), Some(TaskId(0)));
+        assert_eq!(m.worker(0).task_count(), 3);
+    }
+
+    #[test]
+    fn stop_all_targets_every_live_task() {
+        let mut m = SideTaskManager::new(vec![gib(10), gib(10)]);
+        let a = TaskId(1);
+        let b = TaskId(2);
+        m.submit(a, gib(3)).unwrap();
+        m.submit(b, gib(3)).unwrap();
+        m.on_task_state(0, a, SideTaskState::Created);
+        m.on_task_state(1, b, SideTaskState::Created);
+        m.poll(t(1));
+        m.on_task_state(0, a, SideTaskState::Paused);
+        m.on_task_state(1, b, SideTaskState::Paused);
+        let cmds = m.stop_all();
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds.contains(&ManagerCmd::Stop { worker: 0, task: a }));
+        assert!(cmds.contains(&ManagerCmd::Stop { worker: 1, task: b }));
+    }
+
+    #[test]
+    fn pause_only_for_running_task() {
+        let mut m = manager();
+        let id = TaskId(3);
+        let w = admit_and_ready(&mut m, id, gib(3));
+        // Bubble comes and goes while the task is still Paused (Start ack
+        // never arrives): on expiry there must be no Pause for a
+        // non-running task.
+        m.add_bubble(w, bubble(0, 50));
+        let cmds = m.poll(t(10));
+        assert_eq!(cmds.len(), 1, "start issued");
+        // No Running ack. Bubble expires:
+        let cmds = m.poll(t(100));
+        assert!(cmds.is_empty(), "{cmds:?}");
+    }
+
+    #[test]
+    fn first_fit_policy_ignores_load() {
+        let mut m = manager().with_policy(PlacementPolicy::FirstFit);
+        let (w, _) = m.submit(TaskId(0), gib(3)).unwrap();
+        assert_eq!(w, 1);
+        let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
+        assert_eq!(w, 1, "first fit piles onto the same worker");
+    }
+
+    #[test]
+    fn most_memory_policy_prefers_late_stages() {
+        let mut m = manager().with_policy(PlacementPolicy::MostMemory);
+        let (w, _) = m.submit(TaskId(0), gib(3)).unwrap();
+        assert_eq!(w, 3, "stage 3 has the most bubble memory");
+        let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
+        assert_eq!(w, 3);
+    }
+
+    #[test]
+    fn admitted_mem_tracks_queue() {
+        let mut m = SideTaskManager::new(vec![gib(10)]);
+        m.submit(TaskId(1), gib(2)).unwrap();
+        m.submit(TaskId(2), gib(3)).unwrap();
+        assert_eq!(m.admitted_mem(0), gib(5));
+    }
+}

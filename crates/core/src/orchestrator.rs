@@ -1,0 +1,697 @@
+//! The FreeRide deployment: pipeline training, side-task manager, per-GPU
+//! workers, and RPC wiring, composed into one deterministic simulation
+//! world (Fig. 3 and Fig. 5 of the paper).
+//!
+//! The same orchestrator also runs the two baselines of §6.1.2 — MPS
+//! co-location and naive co-location — by skipping the bubble machinery
+//! and letting side tasks run continuously under the corresponding device
+//! sharing model.
+
+use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
+use crate::manager::{ManagerCmd, SideTaskManager};
+use crate::metrics::{BubbleBreakdown, TaskWork};
+use crate::state::SideTaskState;
+use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
+use crate::worker::{Worker, WorkerEffect};
+use freeride_gpu::{GpuDevice, GpuId, MpsPrioritized, ProcessId, TimeSliced};
+use freeride_pipeline::{BubbleReport, EngineAction, PipelineConfig, PipelineEngine};
+use freeride_rpc::{Directory, Endpoint, Envelope, LatencyModel, RpcBus};
+use freeride_sim::{
+    DetRng, EventId, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder,
+    World,
+};
+use freeride_tasks::{WorkloadKind, WorkloadProfile, DEFAULT_BATCH};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A side task to submit to the deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct Submission {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// Batch size (model-training tasks only).
+    pub batch: usize,
+    /// Failure injection.
+    pub misbehavior: Misbehavior,
+}
+
+impl Submission {
+    /// A well-behaved submission at the default batch size.
+    pub fn new(kind: WorkloadKind) -> Self {
+        Submission {
+            kind,
+            batch: DEFAULT_BATCH,
+            misbehavior: Misbehavior::None,
+        }
+    }
+
+    /// Overrides the batch size (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Installs failure injection (builder style).
+    pub fn with_misbehavior(mut self, m: Misbehavior) -> Self {
+        self.misbehavior = m;
+        self
+    }
+
+    /// The paper's §6.2 setup: the same workload submitted once per stage.
+    pub fn per_worker(kind: WorkloadKind, stages: usize) -> Vec<Submission> {
+        (0..stages).map(|_| Submission::new(kind)).collect()
+    }
+
+    /// The paper's mixed workload: PageRank, ResNet18, Image, VGG19 — one
+    /// per worker of stages 0–3.
+    pub fn mixed() -> Vec<Submission> {
+        vec![
+            Submission::new(WorkloadKind::PageRank),
+            Submission::new(WorkloadKind::ResNet18),
+            Submission::new(WorkloadKind::ImageProc),
+            Submission::new(WorkloadKind::Vgg19),
+        ]
+    }
+}
+
+/// Outcome of one submitted task.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TaskSummary {
+    /// Task id.
+    pub id: TaskId,
+    /// Workload kind.
+    pub kind: WorkloadKind,
+    /// Worker (stage) it was assigned to.
+    pub worker: usize,
+    /// Steps completed.
+    pub steps: u64,
+    /// Final life-cycle state.
+    pub final_state: SideTaskState,
+    /// Why it stopped.
+    pub stop_reason: StopReason,
+    /// The profile it ran under (batch-adjusted).
+    pub profile: WorkloadProfile,
+}
+
+/// Result of one co-location run.
+#[derive(Debug)]
+pub struct ColocationRun {
+    /// The mode that ran.
+    pub mode: ColocationMode,
+    /// Total pipeline-training time (`T_withSideTasks`).
+    pub total_time: SimDuration,
+    /// Per-epoch times.
+    pub epoch_times: Vec<SimDuration>,
+    /// Per-task outcomes.
+    pub tasks: Vec<TaskSummary>,
+    /// Submissions rejected by Algorithm 1.
+    pub rejected: Vec<WorkloadKind>,
+    /// Fig. 9 accounting (FreeRide modes only; zero for baselines).
+    pub breakdown: BubbleBreakdown,
+    /// SM-occupancy and memory traces per GPU.
+    pub trace: TraceRecorder,
+    /// Bubble reports delivered to the manager.
+    pub bubbles_reported: u64,
+}
+
+impl ColocationRun {
+    /// Work records for the cost model.
+    pub fn work(&self) -> Vec<TaskWork> {
+        self.tasks
+            .iter()
+            .map(|t| TaskWork::new(&t.profile, t.steps))
+            .collect()
+    }
+
+    /// Total steps across tasks of a kind.
+    pub fn steps_of(&self, kind: WorkloadKind) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.steps)
+            .sum()
+    }
+}
+
+enum Msg {
+    Bubble(BubbleReport),
+    Cmd(ManagerCmd),
+    Ack {
+        worker: usize,
+        task: TaskId,
+        state: SideTaskState,
+    },
+}
+
+enum Ev {
+    LaunchOp(usize),
+    EpochBoundary,
+    DeviceTick(usize),
+    ManagerPollPeriodic,
+    ManagerPollOnce,
+    Deliver(Envelope<Msg>),
+    InitDone { worker: usize, task: TaskId },
+    StepLaunch { worker: usize, task: TaskId },
+    GraceCheck { worker: usize, task: TaskId, requested_at: SimTime },
+}
+
+struct OrchestratorWorld {
+    cfg: FreeRideConfig,
+    devices: Vec<GpuDevice>,
+    engine: PipelineEngine,
+    manager: SideTaskManager,
+    workers: Vec<Worker>,
+    bus: RpcBus,
+    ep_trainer: Endpoint,
+    ep_manager: Endpoint,
+    ep_workers: Vec<Endpoint>,
+    pending_create: BTreeMap<TaskId, SideTask>,
+    pid_index: BTreeMap<ProcessId, (usize, TaskId)>,
+    tick_ids: Vec<Option<EventId>>,
+    trace: TraceRecorder,
+    bubble_total: SimDuration,
+    bubble_unused: SimDuration,
+    bubbles_reported: u64,
+    training_done: bool,
+    stops_issued: bool,
+}
+
+impl OrchestratorWorld {
+    fn is_freeride(&self) -> bool {
+        matches!(self.cfg.mode, ColocationMode::FreeRide(_))
+    }
+
+    fn finished(&self) -> bool {
+        self.training_done
+            && self.pending_create.is_empty()
+            && self.workers.iter().all(|w| !w.has_live_tasks())
+    }
+
+    fn send(&mut self, now: SimTime, from: Endpoint, to: Endpoint, msg: Msg, s: &mut Scheduler<'_, Ev>) {
+        let (at, env) = self.bus.send(now, from, to, msg);
+        s.schedule_at(at, Ev::Deliver(env));
+    }
+
+    fn resync_device(&mut self, g: usize, s: &mut Scheduler<'_, Ev>) {
+        if let Some(id) = self.tick_ids[g].take() {
+            s.cancel(id);
+        }
+        if let Some(t) = self.devices[g].next_completion_time() {
+            self.tick_ids[g] = Some(s.schedule_at(t, Ev::DeviceTick(g)));
+        }
+    }
+
+    fn record_device(&mut self, now: SimTime, g: usize) {
+        let occ = self.devices[g].occupancy();
+        let mem = self.devices[g].used_mem().as_gib_f64();
+        self.trace.record(&format!("gpu{g}.sm"), now, occ);
+        self.trace.record(&format!("gpu{g}.mem"), now, mem);
+    }
+
+    fn apply_engine_actions(
+        &mut self,
+        now: SimTime,
+        actions: Vec<EngineAction>,
+        s: &mut Scheduler<'_, Ev>,
+    ) {
+        for a in actions {
+            match a {
+                EngineAction::ScheduleLaunch { stage, at } => {
+                    s.schedule_at(at, Ev::LaunchOp(stage));
+                }
+                EngineAction::ScheduleEpochBoundary { at } => {
+                    s.schedule_at(at, Ev::EpochBoundary);
+                }
+                EngineAction::BubbleStart(r) => {
+                    if self.is_freeride() {
+                        self.send(
+                            now,
+                            self.ep_trainer,
+                            self.ep_manager,
+                            Msg::Bubble(r),
+                            s,
+                        );
+                    }
+                }
+                EngineAction::BubbleEnd { .. } => {}
+                EngineAction::EpochEnd { .. } => {}
+                EngineAction::TrainingDone { .. } => {
+                    self.training_done = true;
+                    self.issue_stops(now, s);
+                }
+            }
+        }
+    }
+
+    fn issue_stops(&mut self, now: SimTime, s: &mut Scheduler<'_, Ev>) {
+        if self.stops_issued {
+            return;
+        }
+        self.stops_issued = true;
+        if self.is_freeride() {
+            let cmds = self.manager.stop_all();
+            for cmd in cmds {
+                let to = self.ep_workers[cmd_worker(&cmd)];
+                self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+            }
+        } else {
+            // Baselines: stop every live task directly.
+            let mut stops = Vec::new();
+            for (wi, w) in self.workers.iter().enumerate() {
+                for t in w.tasks() {
+                    if !t.is_stopped() {
+                        stops.push(ManagerCmd::Stop {
+                            worker: wi,
+                            task: t.id,
+                        });
+                    }
+                }
+            }
+            // Tasks still awaiting creation never start.
+            self.pending_create.clear();
+            for cmd in stops {
+                let to = self.ep_workers[cmd_worker(&cmd)];
+                self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+            }
+        }
+    }
+
+    fn run_manager_poll(&mut self, now: SimTime, s: &mut Scheduler<'_, Ev>) {
+        if !self.is_freeride() {
+            return;
+        }
+        let cmds = self.manager.poll(now);
+        for cmd in cmds {
+            let to = self.ep_workers[cmd_worker(&cmd)];
+            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+        }
+    }
+
+    fn apply_worker_effects(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        effects: Vec<WorkerEffect>,
+        s: &mut Scheduler<'_, Ev>,
+    ) {
+        for e in effects {
+            match e {
+                WorkerEffect::Ack { task, state } => {
+                    if self.is_freeride() {
+                        self.send(
+                            now,
+                            self.ep_workers[worker],
+                            self.ep_manager,
+                            Msg::Ack {
+                                worker,
+                                task,
+                                state,
+                            },
+                            s,
+                        );
+                    } else {
+                        // Baselines have no manager loop: drive the task
+                        // straight through Init and then run it
+                        // continuously (an infinite "bubble").
+                        let next = match state {
+                            SideTaskState::Created => {
+                                Some(ManagerCmd::Init { worker, task })
+                            }
+                            SideTaskState::Paused => Some(ManagerCmd::Start {
+                                worker,
+                                task,
+                                bubble_end: SimTime::MAX,
+                            }),
+                            _ => None,
+                        };
+                        if let Some(cmd) = next {
+                            self.send(
+                                now,
+                                self.ep_manager,
+                                self.ep_workers[worker],
+                                Msg::Cmd(cmd),
+                                s,
+                            );
+                        }
+                    }
+                }
+                WorkerEffect::ScheduleInitDone { task, at } => {
+                    s.schedule_at(at, Ev::InitDone { worker, task });
+                }
+                WorkerEffect::ScheduleStepLaunch { task, at } => {
+                    s.schedule_at(at, Ev::StepLaunch { worker, task });
+                }
+                WorkerEffect::ScheduleGraceCheck {
+                    task,
+                    at,
+                    requested_at,
+                } => {
+                    s.schedule_at(
+                        at,
+                        Ev::GraceCheck {
+                            worker,
+                            task,
+                            requested_at,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_cmd(&mut self, now: SimTime, cmd: ManagerCmd, s: &mut Scheduler<'_, Ev>) {
+        let wi = cmd_worker(&cmd);
+        let effects = match cmd {
+            ManagerCmd::Create { task, .. } => {
+                let Some(obj) = self.pending_create.remove(&task) else {
+                    return; // run ended before creation
+                };
+                let fx = self.workers[wi].handle_create(now, obj, &mut self.devices[wi]);
+                if let Some(pid) = self.workers[wi].task(task).and_then(|t| t.pid) {
+                    self.pid_index.insert(pid, (wi, task));
+                }
+                fx
+            }
+            ManagerCmd::Init { task, .. } => {
+                self.workers[wi].handle_init(now, task, &mut self.devices[wi])
+            }
+            ManagerCmd::Start {
+                task, bubble_end, ..
+            } => self.workers[wi].handle_start(now, task, bubble_end, &mut self.devices[wi]),
+            ManagerCmd::Pause { task, .. } => {
+                self.workers[wi].handle_pause(now, task, &mut self.devices[wi])
+            }
+            ManagerCmd::Stop { task, .. } => {
+                self.workers[wi].handle_stop(now, task, &mut self.devices[wi])
+            }
+        };
+        self.apply_worker_effects(now, wi, effects, s);
+        self.resync_device(wi, s);
+        self.record_device(now, wi);
+    }
+}
+
+fn cmd_worker(cmd: &ManagerCmd) -> usize {
+    match cmd {
+        ManagerCmd::Create { worker, .. }
+        | ManagerCmd::Init { worker, .. }
+        | ManagerCmd::Start { worker, .. }
+        | ManagerCmd::Pause { worker, .. }
+        | ManagerCmd::Stop { worker, .. } => *worker,
+    }
+}
+
+impl World for OrchestratorWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, s: &mut Scheduler<'_, Ev>) {
+        match event {
+            Ev::LaunchOp(stage) => {
+                let actions = self.engine.launch_due(now, stage, &mut self.devices);
+                self.apply_engine_actions(now, actions, s);
+                self.resync_device(stage, s);
+                self.record_device(now, stage);
+            }
+            Ev::EpochBoundary => {
+                let actions = self.engine.epoch_boundary(now);
+                self.apply_engine_actions(now, actions, s);
+            }
+            Ev::DeviceTick(g) => {
+                self.tick_ids[g] = None;
+                let completions = self.devices[g].advance_through(now);
+                for c in completions {
+                    if self.engine.stage_of_pid(c.process).is_some() {
+                        let actions = self.engine.on_op_complete(now, g);
+                        self.apply_engine_actions(now, actions, s);
+                    } else if let Some(&(wi, task)) = self.pid_index.get(&c.process) {
+                        let fx =
+                            self.workers[wi].on_step_complete(now, task, &mut self.devices[wi]);
+                        self.apply_worker_effects(now, wi, fx, s);
+                    }
+                }
+                self.resync_device(g, s);
+                self.record_device(now, g);
+            }
+            Ev::ManagerPollPeriodic => {
+                self.run_manager_poll(now, s);
+                if !self.finished() {
+                    s.schedule_after(self.cfg.manager_poll_interval, Ev::ManagerPollPeriodic);
+                }
+            }
+            Ev::ManagerPollOnce => {
+                self.run_manager_poll(now, s);
+            }
+            Ev::Deliver(env) => match env.msg {
+                Msg::Bubble(r) => {
+                    self.bubbles_reported += 1;
+                    self.bubble_total += r.duration;
+                    let meta = self.manager.worker(r.stage);
+                    let has_assignee = meta.task_count() > 0;
+                    let live = has_assignee
+                        && self.workers[r.stage].has_live_tasks()
+                        || !self.pending_create.is_empty() && has_assignee;
+                    if !live {
+                        self.bubble_unused += r.duration;
+                    }
+                    self.manager.add_bubble(r.stage, r);
+                    self.run_manager_poll(now, s);
+                    // Pause promptly when the bubble expires.
+                    s.schedule_at(r.predicted_end().max(now), Ev::ManagerPollOnce);
+                }
+                Msg::Cmd(cmd) => self.handle_cmd(now, cmd, s),
+                Msg::Ack {
+                    worker,
+                    task,
+                    state,
+                } => {
+                    self.manager.on_task_state(worker, task, state);
+                    self.run_manager_poll(now, s);
+                }
+            },
+            Ev::InitDone { worker, task } => {
+                let fx = self.workers[worker].init_done(now, task);
+                self.apply_worker_effects(now, worker, fx, s);
+            }
+            Ev::StepLaunch { worker, task } => {
+                let fx = self.workers[worker].step_launch_due(now, task, &mut self.devices[worker]);
+                self.apply_worker_effects(now, worker, fx, s);
+                self.resync_device(worker, s);
+            }
+            Ev::GraceCheck {
+                worker,
+                task,
+                requested_at,
+            } => {
+                let fx = self.workers[worker].grace_check(
+                    now,
+                    task,
+                    requested_at,
+                    &mut self.devices[worker],
+                );
+                self.apply_worker_effects(now, worker, fx, s);
+                self.resync_device(worker, s);
+                self.record_device(now, worker);
+            }
+        }
+    }
+}
+
+/// Runs pipeline training co-located with the submitted side tasks under
+/// the given mode, to completion.
+pub fn run_colocation(
+    pipeline_cfg: &PipelineConfig,
+    fr_cfg: &FreeRideConfig,
+    submissions: &[Submission],
+) -> ColocationRun {
+    fr_cfg.validate();
+    let rng = DetRng::seed_from_u64(fr_cfg.seed);
+
+    // Devices with the sharing model the mode implies.
+    let devices: Vec<GpuDevice> = (0..pipeline_cfg.stages)
+        .map(|i| {
+            let model: Box<dyn freeride_gpu::InterferenceModel> = match fr_cfg.mode {
+                ColocationMode::Naive => Box::new(TimeSliced),
+                _ => Box::new(MpsPrioritized::default()),
+            };
+            GpuDevice::new(GpuId(i as u32), pipeline_cfg.gpu_memory, model)
+        })
+        .collect();
+
+    let instr = match fr_cfg.mode {
+        ColocationMode::FreeRide(_) => fr_cfg.instrumentation_overhead,
+        _ => SimDuration::ZERO,
+    };
+    let mut engine = PipelineEngine::new(pipeline_cfg.clone(), fr_cfg.schedule)
+        .with_instrumentation_overhead(instr);
+
+    let mut directory = Directory::new();
+    let ep_trainer = directory.register("trainer");
+    let ep_manager = directory.register("manager");
+    let ep_workers: Vec<Endpoint> = (0..pipeline_cfg.stages)
+        .map(|i| directory.register(format!("worker{i}")))
+        .collect();
+
+    let worker_mem: Vec<_> = (0..pipeline_cfg.stages)
+        .map(|st| pipeline_cfg.stage_free_memory(st))
+        .collect();
+    let mut manager = SideTaskManager::new(worker_mem);
+
+    let interface = match fr_cfg.mode {
+        ColocationMode::FreeRide(i) => i,
+        // Baselines co-run the original (non-step-wise) implementation.
+        _ => InterfaceKind::Imperative,
+    };
+
+    // Build and place the submissions.
+    let mut pending_create = BTreeMap::new();
+    let mut rejected = Vec::new();
+    let mut placements: Vec<(TaskId, usize, WorkloadKind, WorkloadProfile)> = Vec::new();
+    let mut initial_cmds = Vec::new();
+    for (i, sub) in submissions.iter().enumerate() {
+        let id = TaskId(i as u64);
+        let profile = sub.kind.profile_with_batch(sub.batch);
+        match manager.submit(id, profile.gpu_mem) {
+            Ok((w, cmd)) => {
+                let task = SideTask::new(
+                    id,
+                    sub.kind,
+                    profile,
+                    interface,
+                    sub.kind.build(fr_cfg.seed ^ (i as u64)),
+                    SimTime::ZERO,
+                )
+                .with_misbehavior(sub.misbehavior);
+                pending_create.insert(id, task);
+                placements.push((id, w, sub.kind, profile));
+                initial_cmds.push(cmd);
+            }
+            Err(_) => rejected.push(sub.kind),
+        }
+    }
+
+    let mut world_devices = devices;
+    engine.init(&mut world_devices);
+
+    let mut trace = TraceRecorder::new();
+    for (g, d) in world_devices.iter().enumerate() {
+        trace.record(&format!("gpu{g}.sm"), SimTime::ZERO, 0.0);
+        trace.record(&format!("gpu{g}.mem"), SimTime::ZERO, d.used_mem().as_gib_f64());
+    }
+
+    let world = OrchestratorWorld {
+        workers: (0..pipeline_cfg.stages)
+            .map(|i| Worker::new(i, fr_cfg.clone()))
+            .collect(),
+        tick_ids: vec![None; pipeline_cfg.stages],
+        devices: world_devices,
+        engine,
+        manager,
+        bus: RpcBus::new(
+            LatencyModel {
+                base: fr_cfg.rpc_latency,
+                jitter_sigma: fr_cfg.rpc_jitter,
+            },
+            rng.derive("rpc"),
+        ),
+        ep_trainer,
+        ep_manager,
+        ep_workers,
+        pending_create,
+        pid_index: BTreeMap::new(),
+        trace,
+        bubble_total: SimDuration::ZERO,
+        bubble_unused: SimDuration::ZERO,
+        bubbles_reported: 0,
+        training_done: false,
+        stops_issued: false,
+        cfg: fr_cfg.clone(),
+    };
+
+    let mut sim = Simulation::new(world);
+
+    // Seed training.
+    let start_actions = sim.world_mut().engine.start(SimTime::ZERO);
+    for a in start_actions {
+        match a {
+            EngineAction::ScheduleLaunch { stage, at } => {
+                sim.seed_at(at, Ev::LaunchOp(stage));
+            }
+            EngineAction::ScheduleEpochBoundary { at } => {
+                sim.seed_at(at, Ev::EpochBoundary);
+            }
+            _ => {}
+        }
+    }
+    // Seed task creation RPCs and the manager loop.
+    {
+        let mut cmd_events = Vec::new();
+        {
+            let w = sim.world_mut();
+            for cmd in initial_cmds {
+                let to = w.ep_workers[cmd_worker(&cmd)];
+                let (at, env) = w.bus.send(SimTime::ZERO, w.ep_manager, to, Msg::Cmd(cmd));
+                cmd_events.push((at, env));
+            }
+        }
+        for (at, env) in cmd_events {
+            sim.seed_at(at, Ev::Deliver(env));
+        }
+    }
+    sim.seed(Ev::ManagerPollPeriodic);
+
+    let outcome = sim.run_to_quiescence();
+    assert_eq!(outcome, RunOutcome::Quiescent, "run must drain");
+    let world = sim.into_world();
+    assert!(world.engine.is_done(), "training must complete");
+    assert!(world.finished(), "all tasks must stop");
+
+    // Gather results.
+    let mut tasks = Vec::new();
+    for (id, wi, kind, profile) in placements {
+        let t = world.workers[wi].task(id).expect("created task persists");
+        tasks.push(TaskSummary {
+            id,
+            kind,
+            worker: wi,
+            steps: t.steps,
+            final_state: t.state(),
+            stop_reason: t.stop_reason,
+            profile,
+        });
+    }
+    let mut breakdown = BubbleBreakdown {
+        total: world.bubble_total,
+        unused_oom: world.bubble_unused,
+        ..BubbleBreakdown::default()
+    };
+    for w in &world.workers {
+        let acc = w.accounting();
+        breakdown.running += acc.running;
+        breakdown.insufficient += acc.insufficient;
+    }
+
+    ColocationRun {
+        mode: fr_cfg.mode,
+        total_time: world.engine.total_time(),
+        epoch_times: world.engine.epoch_times().to_vec(),
+        tasks,
+        rejected,
+        breakdown,
+        trace: world.trace,
+        bubbles_reported: world.bubbles_reported,
+    }
+}
+
+/// Runs the no-side-task baseline with the same pipeline configuration
+/// (vanilla DeepSpeed: no instrumentation overhead).
+pub fn run_baseline(pipeline_cfg: &PipelineConfig) -> SimDuration {
+    run_baseline_with(pipeline_cfg, freeride_pipeline::ScheduleKind::OneFOneB)
+}
+
+/// Baseline under an explicit schedule (the GPipe ablation).
+pub fn run_baseline_with(
+    pipeline_cfg: &PipelineConfig,
+    schedule: freeride_pipeline::ScheduleKind,
+) -> SimDuration {
+    freeride_pipeline::run_training(pipeline_cfg, schedule).total_time
+}

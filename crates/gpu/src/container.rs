@@ -1,0 +1,185 @@
+//! Isolation containers (Docker stand-in).
+//!
+//! The paper deploys each side-task process inside a Docker container so
+//! that a misbehaving or crashing side task cannot touch the pipeline
+//! training process (§4.6, §8 *Fault tolerance*). The observable property
+//! is failure containment; this registry models exactly that: containers
+//! own processes, and tearing a container down reaps everything inside it
+//! without affecting processes outside.
+
+use crate::ids::{ContainerId, ProcessId};
+use std::collections::BTreeMap;
+
+/// Lifecycle state of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Running; processes can be added.
+    Running,
+    /// Torn down; all member processes were reaped.
+    Stopped,
+}
+
+#[derive(Debug, Clone)]
+struct Container {
+    state: ContainerState,
+    members: Vec<ProcessId>,
+}
+
+/// Registry of containers and their member processes.
+#[derive(Debug, Default)]
+pub struct ContainerRegistry {
+    containers: BTreeMap<ContainerId, Container>,
+    next_id: u64,
+}
+
+impl ContainerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a fresh container.
+    pub fn create(&mut self) -> ContainerId {
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            Container {
+                state: ContainerState::Running,
+                members: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Places a process inside a running container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the container is unknown or stopped, or if the process is
+    /// already a member of any container (a process has exactly one home).
+    pub fn add_process(&mut self, container: ContainerId, process: ProcessId) {
+        assert!(
+            self.container_of(process).is_none(),
+            "{process} is already containerised"
+        );
+        let c = self
+            .containers
+            .get_mut(&container)
+            .expect("unknown container");
+        assert_eq!(c.state, ContainerState::Running, "container is stopped");
+        c.members.push(process);
+    }
+
+    /// The container hosting `process`, if any.
+    pub fn container_of(&self, process: ProcessId) -> Option<ContainerId> {
+        self.containers
+            .iter()
+            .find(|(_, c)| c.members.contains(&process))
+            .map(|(id, _)| *id)
+    }
+
+    /// State of a container.
+    pub fn state(&self, container: ContainerId) -> Option<ContainerState> {
+        self.containers.get(&container).map(|c| c.state)
+    }
+
+    /// Processes inside a container.
+    pub fn members(&self, container: ContainerId) -> &[ProcessId] {
+        self.containers
+            .get(&container)
+            .map(|c| c.members.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Tears the container down, returning the processes that must be
+    /// reaped by the device layer. Idempotent: stopping a stopped container
+    /// returns an empty list.
+    pub fn stop(&mut self, container: ContainerId) -> Vec<ProcessId> {
+        let Some(c) = self.containers.get_mut(&container) else {
+            return Vec::new();
+        };
+        if c.state == ContainerState::Stopped {
+            return Vec::new();
+        }
+        c.state = ContainerState::Stopped;
+        std::mem::take(&mut c.members)
+    }
+
+    /// Number of containers ever created.
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Whether no containers exist.
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_add_stop_cycle() {
+        let mut r = ContainerRegistry::new();
+        let c = r.create();
+        assert_eq!(r.state(c), Some(ContainerState::Running));
+        r.add_process(c, ProcessId(1));
+        r.add_process(c, ProcessId(2));
+        assert_eq!(r.members(c), &[ProcessId(1), ProcessId(2)]);
+        assert_eq!(r.container_of(ProcessId(1)), Some(c));
+
+        let reaped = r.stop(c);
+        assert_eq!(reaped, vec![ProcessId(1), ProcessId(2)]);
+        assert_eq!(r.state(c), Some(ContainerState::Stopped));
+        assert_eq!(r.container_of(ProcessId(1)), None);
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let mut r = ContainerRegistry::new();
+        let c = r.create();
+        r.add_process(c, ProcessId(1));
+        assert_eq!(r.stop(c).len(), 1);
+        assert!(r.stop(c).is_empty());
+    }
+
+    #[test]
+    fn stopping_unknown_container_is_noop() {
+        let mut r = ContainerRegistry::new();
+        assert!(r.stop(ContainerId(99)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already containerised")]
+    fn process_cannot_join_two_containers() {
+        let mut r = ContainerRegistry::new();
+        let a = r.create();
+        let b = r.create();
+        r.add_process(a, ProcessId(1));
+        r.add_process(b, ProcessId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "container is stopped")]
+    fn cannot_add_to_stopped_container() {
+        let mut r = ContainerRegistry::new();
+        let c = r.create();
+        r.stop(c);
+        r.add_process(c, ProcessId(1));
+    }
+
+    #[test]
+    fn containers_are_independent() {
+        let mut r = ContainerRegistry::new();
+        let a = r.create();
+        let b = r.create();
+        r.add_process(a, ProcessId(1));
+        r.add_process(b, ProcessId(2));
+        r.stop(a);
+        assert_eq!(r.state(b), Some(ContainerState::Running));
+        assert_eq!(r.members(b), &[ProcessId(2)]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Models of how co-running kernels from different processes slow each
+//! other down.
+//!
+//! Real GPUs expose three sharing regimes relevant to the paper:
+//!
+//! * **Sole tenancy** — one process's kernels at a time; no slowdown. This
+//!   is what FreeRide approximates by confining side tasks to bubbles.
+//! * **CUDA MPS** (§6.1.2 "MPS" baseline) — kernels of several processes
+//!   genuinely co-run on the SMs; the training job is configured with the
+//!   highest priority but still loses throughput proportional to the side
+//!   kernels' demand and contention intensity. Compute-saturating kernels
+//!   (Graph SGD) degrade it catastrophically (231% in Table 2).
+//! * **Naive co-location** (§6.1.2 "Naive") — no MPS: the driver
+//!   time-slices whole process contexts, so the training job loses a share
+//!   of time roughly equal to the side process's demand, largely
+//!   independent of kernel intensity.
+//!
+//! The model assigns every active kernel a *speed* in `(0, 1]`: the rate at
+//! which its remaining solo-time decreases.
+
+use crate::kernel::Priority;
+
+/// The subset of kernel state visible to interference models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCtx {
+    /// Owner's scheduling priority.
+    pub priority: Priority,
+    /// SM demand in `(0, 1]`.
+    pub sm_demand: f64,
+    /// Contention intensity (see [`KernelSpec::intensity`]).
+    ///
+    /// [`KernelSpec::intensity`]: crate::KernelSpec::intensity
+    pub intensity: f64,
+}
+
+/// Computes per-kernel execution speeds for a set of co-running kernels.
+pub trait InterferenceModel: Send {
+    /// Returns one speed in `(0, 1]` per kernel in `kernels`, same order.
+    fn speeds(&self, kernels: &[KernelCtx]) -> Vec<f64>;
+
+    /// Human-readable name for traces and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Minimum speed any kernel is degraded to; prevents starvation-induced
+/// non-termination in the simulation, mirroring how real MPS still gives
+/// low-priority work residual SM cycles.
+pub const MIN_SPEED: f64 = 0.10;
+
+/// CUDA MPS-style sharing with training priority.
+///
+/// * High-priority kernels run at `1 / (1 + α · Σ_low demand·intensity)`.
+/// * Low-priority kernels run at the SM share high-priority kernels leave
+///   behind, floored at [`MIN_SPEED`].
+/// * With a single tenant (all kernels same priority class and total demand
+///   ≤ 1) everything runs at full speed.
+#[derive(Debug, Clone)]
+pub struct MpsPrioritized {
+    /// Scales how strongly low-priority kernels degrade high-priority ones.
+    pub alpha: f64,
+}
+
+impl Default for MpsPrioritized {
+    fn default() -> Self {
+        MpsPrioritized { alpha: 1.0 }
+    }
+}
+
+impl InterferenceModel for MpsPrioritized {
+    fn speeds(&self, kernels: &[KernelCtx]) -> Vec<f64> {
+        let high_demand: f64 = kernels
+            .iter()
+            .filter(|k| k.priority == Priority::High)
+            .map(|k| k.sm_demand)
+            .sum();
+        let low_pressure: f64 = kernels
+            .iter()
+            .filter(|k| k.priority == Priority::Low)
+            .map(|k| k.sm_demand * k.intensity)
+            .sum();
+        let low_count = kernels
+            .iter()
+            .filter(|k| k.priority == Priority::Low)
+            .count() as f64;
+
+        kernels
+            .iter()
+            .map(|k| match k.priority {
+                Priority::High => 1.0 / (1.0 + self.alpha * low_pressure),
+                Priority::Low => {
+                    if high_demand <= 0.0 {
+                        // Bubbles: low-priority kernels share the device
+                        // proportionally if they oversubscribe it.
+                        let total_low: f64 = kernels
+                            .iter()
+                            .filter(|k| k.priority == Priority::Low)
+                            .map(|k| k.sm_demand)
+                            .sum();
+                        if total_low > 1.0 {
+                            (1.0 / total_low).max(MIN_SPEED)
+                        } else {
+                            1.0
+                        }
+                    } else {
+                        // Training active: MPS co-runs the kernels. How
+                        // much progress the side kernel makes depends on
+                        // how aggressively it grabs SMs: ordinary kernels
+                        // yield to the high-priority client and keep only
+                        // about half their contention share, while
+                        // compute-saturating kernels (intensity ≫ 1, the
+                        // Graph SGD class) hold their SMs — which is
+                        // exactly why they degrade training so badly.
+                        let share = 1.0 / (1.0 + high_demand);
+                        let grip = 0.5 * k.intensity.max(1.0);
+                        ((share * grip).min(1.0) / low_count.max(1.0)).max(MIN_SPEED)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "mps-prioritized"
+    }
+}
+
+/// Naive co-location: the driver time-slices process contexts fairly, so
+/// each kernel's speed is its demand-weighted share of the device.
+///
+/// Intensity is irrelevant here — the slowdown comes from time division,
+/// not SM-level contention — which is why the paper's naive numbers cluster
+/// in a band (45–64%) regardless of workload (Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct TimeSliced;
+
+impl InterferenceModel for TimeSliced {
+    fn speeds(&self, kernels: &[KernelCtx]) -> Vec<f64> {
+        let total: f64 = kernels.iter().map(|k| k.sm_demand).sum();
+        kernels
+            .iter()
+            .map(|k| {
+                if total <= 1.0 {
+                    return 1.0;
+                }
+                let base = 1.0 / total;
+                match k.priority {
+                    Priority::High => base.max(MIN_SPEED),
+                    // The driver's context switches waste a large part of
+                    // the side process's slice; compute-saturating kernels
+                    // amortise the switches better.
+                    Priority::Low => {
+                        let grip = (0.5 * k.intensity.max(1.0).sqrt()).min(1.0);
+                        (base * grip).max(MIN_SPEED)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "time-sliced"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(priority: Priority, demand: f64, intensity: f64) -> KernelCtx {
+        KernelCtx {
+            priority,
+            sm_demand: demand,
+            intensity,
+        }
+    }
+
+    #[test]
+    fn mps_single_tenant_full_speed() {
+        let m = MpsPrioritized::default();
+        assert_eq!(m.speeds(&[k(Priority::High, 1.0, 1.0)]), vec![1.0]);
+        assert_eq!(m.speeds(&[k(Priority::Low, 0.5, 1.0)]), vec![1.0]);
+    }
+
+    #[test]
+    fn mps_training_slowed_by_side_pressure() {
+        let m = MpsPrioritized::default();
+        let speeds = m.speeds(&[
+            k(Priority::High, 1.0, 1.0),
+            k(Priority::Low, 0.5, 1.0), // pressure = 0.5
+        ]);
+        assert!((speeds[0] - 1.0 / 1.5).abs() < 1e-12);
+        // The side kernel keeps half its contention share:
+        // 0.5 × 1/(1+1) = 0.25.
+        assert!((speeds[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mps_intensity_amplifies_degradation() {
+        let m = MpsPrioritized::default();
+        let mild = m.speeds(&[k(Priority::High, 1.0, 1.0), k(Priority::Low, 0.9, 1.0)])[0];
+        let harsh = m.speeds(&[k(Priority::High, 1.0, 1.0), k(Priority::Low, 0.9, 4.4)])[0];
+        assert!(harsh < mild);
+        // Graph SGD class: 1/(1+0.9*4.4) ≈ 0.2 → >200% stretch.
+        assert!(harsh < 0.25, "got {harsh}");
+    }
+
+    #[test]
+    fn mps_side_share_shrinks_with_training_demand() {
+        let m = MpsPrioritized::default();
+        let speeds = m.speeds(&[k(Priority::High, 0.6, 1.0), k(Priority::Low, 0.4, 1.0)]);
+        assert!((speeds[1] - 0.5 / 1.6).abs() < 1e-12);
+        // Two side kernels split the share; the floor still applies.
+        let speeds = m.speeds(&[
+            k(Priority::High, 1.0, 1.0),
+            k(Priority::Low, 0.4, 1.0),
+            k(Priority::Low, 0.4, 1.0),
+        ]);
+        assert!((speeds[1] - 0.125).abs() < 1e-9);
+        assert_eq!(speeds[1], speeds[2]);
+    }
+
+    #[test]
+    fn mps_intense_side_kernels_hold_their_share() {
+        let m = MpsPrioritized::default();
+        let mild = m.speeds(&[k(Priority::High, 1.0, 1.0), k(Priority::Low, 0.6, 1.0)])[1];
+        let intense = m.speeds(&[k(Priority::High, 1.0, 1.0), k(Priority::Low, 0.6, 3.7)])[1];
+        assert!(intense > 3.0 * mild, "{mild} vs {intense}");
+        assert!(intense <= 1.0, "speeds never exceed full rate");
+    }
+
+    #[test]
+    fn mps_bubble_low_priority_oversubscription_shares() {
+        let m = MpsPrioritized::default();
+        let speeds = m.speeds(&[k(Priority::Low, 0.8, 1.0), k(Priority::Low, 0.8, 1.0)]);
+        assert!((speeds[0] - 1.0 / 1.6).abs() < 1e-12);
+        assert_eq!(speeds[0], speeds[1]);
+    }
+
+    #[test]
+    fn time_sliced_training_gets_fair_share() {
+        let m = TimeSliced;
+        let speeds = m.speeds(&[k(Priority::High, 1.0, 1.0), k(Priority::Low, 0.9, 1.0)]);
+        assert!((speeds[0] - 1.0 / 1.9).abs() < 1e-12, "training: plain share");
+        // The side process wastes half its slice on context switches.
+        assert!((speeds[1] - 0.5 / 1.9).abs() < 1e-12);
+        // Intense side kernels amortise the switching.
+        let intense = m.speeds(&[k(Priority::High, 1.0, 1.0), k(Priority::Low, 0.9, 4.0)]);
+        assert!((intense[1] - 1.0 / 1.9).abs() < 1e-12);
+        assert_eq!(speeds[0], intense[0], "training share unchanged");
+    }
+
+    #[test]
+    fn time_sliced_undersubscribed_full_speed() {
+        let m = TimeSliced;
+        let speeds = m.speeds(&[k(Priority::High, 0.4, 1.0), k(Priority::Low, 0.3, 1.0)]);
+        assert_eq!(speeds, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_set_is_empty() {
+        assert!(MpsPrioritized::default().speeds(&[]).is_empty());
+        assert!(TimeSliced.speeds(&[]).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the GPU device's fluid execution model: work
+//! conservation, monotone clocks, and isolation invariants under random
+//! kernel workloads.
+
+use freeride_gpu::{
+    GpuDevice, GpuId, KernelSpec, MemBytes, MpsPrioritized, Priority, ProcessState,
+    TimeSliced,
+};
+use freeride_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn device(mps: bool) -> GpuDevice {
+    let model: Box<dyn freeride_gpu::InterferenceModel> = if mps {
+        Box::new(MpsPrioritized::default())
+    } else {
+        Box::new(TimeSliced)
+    };
+    GpuDevice::new(GpuId(0), MemBytes::from_gib(48), model)
+}
+
+proptest! {
+    /// Every launched kernel eventually completes, exactly once, and no
+    /// completion precedes its launch plus its solo duration.
+    #[test]
+    fn kernels_complete_exactly_once_and_never_early(
+        kernels in prop::collection::vec(
+            (1u64..200, 1u32..=10, any::<bool>()),
+            1..25
+        ),
+        mps in any::<bool>(),
+    ) {
+        let mut d = device(mps);
+        let train = d.register_process("t", Priority::High, None);
+        let side = d.register_process("s", Priority::Low, None);
+        let mut launched = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut completions = Vec::new();
+        for (i, (dur_ms, demand10, high)) in kernels.iter().enumerate() {
+            // Drain anything due before this launch instant.
+            now = now + SimDuration::from_millis(i as u64 * 3);
+            completions.extend(d.advance_through(now));
+            let (pid, prio) = if *high { (train, Priority::High) } else { (side, Priority::Low) };
+            let spec = KernelSpec::new(
+                pid,
+                SimDuration::from_millis(*dur_ms),
+                f64::from(*demand10) / 10.0,
+                prio,
+                "k",
+            );
+            let id = d.launch(now, spec).unwrap();
+            launched.push((id, now, SimDuration::from_millis(*dur_ms)));
+        }
+        completions.extend(d.advance_through(SimTime::from_secs_f64(3600.0)));
+        prop_assert_eq!(completions.len(), launched.len());
+        prop_assert_eq!(d.active_kernels(), 0);
+        for (id, at, solo) in launched {
+            let c = completions.iter().find(|c| c.id == id).expect("completed");
+            // Never faster than solo duration; stretch is non-negative.
+            prop_assert!(c.finished_at >= at + solo, "{id}");
+            prop_assert_eq!(c.launched_at, at);
+        }
+        // Completions are delivered in time order.
+        for w in completions.windows(2) {
+            prop_assert!(w[0].finished_at <= w[1].finished_at);
+        }
+    }
+
+    /// Killing a process never perturbs other processes' memory and frees
+    /// all of the victim's.
+    #[test]
+    fn kill_conserves_other_processes_memory(
+        allocs in prop::collection::vec((any::<bool>(), 1u64..4), 1..20),
+    ) {
+        let mut d = device(true);
+        let a = d.register_process("a", Priority::Low, Some(MemBytes::from_gib(20)));
+        let b = d.register_process("b", Priority::Low, Some(MemBytes::from_gib(20)));
+        let mut a_total = MemBytes::ZERO;
+        let mut b_total = MemBytes::ZERO;
+        for (to_a, gib) in allocs {
+            let size = MemBytes::from_gib(gib);
+            let (pid, acc) = if to_a { (a, &mut a_total) } else { (b, &mut b_total) };
+            if d.alloc(pid, size).is_ok() {
+                *acc += size;
+            }
+        }
+        prop_assert_eq!(d.used_mem(), a_total + b_total);
+        d.kill_process(SimTime::ZERO, a, ProcessState::OomKilled);
+        prop_assert_eq!(d.used_mem(), b_total);
+        prop_assert_eq!(d.process(b).unwrap().allocated(), b_total);
+        prop_assert!(d.process(b).unwrap().is_alive());
+    }
+
+    /// The device clock never runs backwards regardless of call pattern.
+    #[test]
+    fn clock_is_monotone(steps in prop::collection::vec(0u64..50, 1..40)) {
+        let mut d = device(false);
+        let p = d.register_process("p", Priority::High, None);
+        let mut now = SimTime::ZERO;
+        let mut last_clock = SimTime::ZERO;
+        for (i, ms) in steps.iter().enumerate() {
+            now = now + SimDuration::from_millis(*ms);
+            d.advance_through(now);
+            prop_assert!(d.clock() >= last_clock);
+            last_clock = d.clock();
+            if i % 3 == 0 {
+                let _ = d.launch(
+                    now,
+                    KernelSpec::new(p, SimDuration::from_millis(7), 1.0, Priority::High, "k"),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Pipeline-semantics tests: the engine must honour every data dependency
+//! of pipeline parallelism regardless of schedule or shape, and its
+//! timings must compose exactly from the configured op durations.
+
+use freeride_pipeline::{run_training, ModelSpec, PipelineConfig, ScheduleKind};
+use freeride_sim::SimDuration;
+use proptest::prelude::*;
+
+fn cfg() -> PipelineConfig {
+    PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2)
+}
+
+#[test]
+fn epoch_time_lower_bound_is_the_pipeline_law() {
+    // An epoch cannot be shorter than the critical path: m micro-batches
+    // through the deepest stage plus the fill/drain cascade.
+    let c = cfg();
+    let run = run_training(&c, ScheduleKind::OneFOneB);
+    let f = c.fp_op_time().as_secs_f64();
+    let b = c.bp_op_time().as_secs_f64();
+    let m = c.micro_batches as f64;
+    let s = c.stages as f64;
+    let critical = (m + s - 1.0) * (f + b);
+    let epoch = run.epoch_times[0].as_secs_f64();
+    assert!(
+        epoch >= critical,
+        "epoch {epoch} shorter than the critical path {critical}"
+    );
+    // And it must be close: no unexplained dead time beyond comm +
+    // optimizer + gap (within 15%).
+    assert!(epoch < critical * 1.15, "epoch {epoch} vs {critical}");
+}
+
+#[test]
+fn per_stage_busy_time_is_exact() {
+    // Stage busy time per epoch = m×(FP+BP) + optimizer; everything else
+    // is idle. Check via the occupancy trace integral.
+    let c = cfg();
+    let run = run_training(&c, ScheduleKind::OneFOneB);
+    let epoch = run.epoch_times[0];
+    let busy_expected = (c.fp_op_time() + c.bp_op_time()) * c.micro_batches as u64
+        + c.optimizer_time;
+    for st in 0..c.stages {
+        let series = run.trace.series(&format!("stage{st}.sm")).unwrap();
+        let t0 = freeride_sim::SimTime::ZERO + epoch; // epoch 1
+        let mean = series.mean_over(t0, t0 + epoch);
+        let busy_measured = epoch.mul_f64(mean);
+        let diff = busy_measured.as_secs_f64() - busy_expected.as_secs_f64();
+        assert!(
+            diff.abs() < 0.02 * busy_expected.as_secs_f64(),
+            "stage {st}: measured {busy_measured} vs expected {busy_expected}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any shape, training completes, all epochs are equal, and the
+    /// bubble profile accounts for (almost) all idle time.
+    #[test]
+    fn idle_accounting_closes(
+        stages in 2usize..6,
+        micro_batches in 1usize..8,
+        gpipe in any::<bool>(),
+    ) {
+        let mut c = PipelineConfig::paper_default(ModelSpec::nanogpt_1_2b())
+            .with_micro_batches(micro_batches)
+            .with_epochs(2);
+        c.stages = stages;
+        let kind = if gpipe { ScheduleKind::GPipe } else { ScheduleKind::OneFOneB };
+        let run = run_training(&c, kind);
+        prop_assert_eq!(run.epoch_times.len(), 2);
+        prop_assert_eq!(run.epoch_times[0], run.epoch_times[1]);
+
+        let epoch = run.epoch_times[0];
+        let busy = (c.fp_op_time() + c.bp_op_time()) * micro_batches as u64
+            + c.optimizer_time;
+        for st in 0..stages {
+            let idle = epoch.saturating_sub(busy);
+            let bubbles = run.profile.stage_bubble_time(st);
+            // Bubbles (≥100ms) never exceed total idle, and miss at most
+            // the sub-threshold comm gaps (bounded by ops × threshold).
+            prop_assert!(bubbles <= idle, "stage {st}: {bubbles} > {idle}");
+            let max_missed = SimDuration::from_millis(100)
+                * (2 * micro_batches as u64 + 2)
+                + c.epoch_gap;
+            prop_assert!(
+                idle.saturating_sub(bubbles) <= max_missed,
+                "stage {st}: unaccounted idle {}",
+                idle.saturating_sub(bubbles)
+            );
+        }
+    }
+
+    /// The bubble rate never exceeds the theoretical (s−1)/(m+s−1) law by
+    /// more than the fixed-overhead slack, for either schedule.
+    #[test]
+    fn bubble_rate_tracks_pipeline_law(
+        micro_batches in 1usize..12,
+        gpipe in any::<bool>(),
+    ) {
+        let c = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+            .with_micro_batches(micro_batches)
+            .with_epochs(2);
+        let kind = if gpipe { ScheduleKind::GPipe } else { ScheduleKind::OneFOneB };
+        let run = run_training(&c, kind);
+        let law = 3.0 / (micro_batches as f64 + 3.0);
+        let rate = run.bubble_stats.bubble_rate;
+        prop_assert!((rate - law).abs() < 0.10, "rate {rate} vs law {law}");
+    }
+}

@@ -1,0 +1,259 @@
+//! The message bus: envelopes, latency, statistics.
+
+use crate::directory::Endpoint;
+use freeride_sim::{DetRng, SimDuration, SimTime};
+
+/// Correlates a response with its request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallId(pub u64);
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Correlation id (fresh for requests; copied from the request for
+    /// responses).
+    pub call: CallId,
+    /// Sender address.
+    pub from: Endpoint,
+    /// Receiver address.
+    pub to: Endpoint,
+    /// Departure timestamp.
+    pub sent_at: SimTime,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Delivery-latency model: a fixed floor plus multiplicative seeded jitter.
+///
+/// Defaults approximate same-host gRPC over loopback, the paper's
+/// deployment (manager, workers and tasks share Server-I): ~120 µs ± 20%.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Minimum one-way latency.
+    pub base: SimDuration,
+    /// Relative jitter sigma (0 disables jitter).
+    pub jitter_sigma: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base: SimDuration::from_micros(120),
+            jitter_sigma: 0.2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A constant-latency model (useful in tests).
+    pub fn fixed(base: SimDuration) -> Self {
+        LatencyModel {
+            base,
+            jitter_sigma: 0.0,
+        }
+    }
+
+    /// Draws one delivery latency.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        if self.jitter_sigma == 0.0 {
+            return self.base;
+        }
+        self.base.mul_f64(rng.jitter_factor(self.jitter_sigma))
+    }
+}
+
+/// Cumulative delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RpcStats {
+    /// Messages handed to the bus.
+    pub sent: u64,
+    /// Sum of all sampled latencies.
+    pub total_latency: SimDuration,
+    /// Largest sampled latency.
+    pub max_latency: SimDuration,
+}
+
+impl RpcStats {
+    /// Mean one-way latency over all sends.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.sent == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_latency / self.sent
+        }
+    }
+}
+
+/// The bus: stamps envelopes, samples latency, and tells the caller when to
+/// deliver. The embedding world schedules the returned `(deliver_at,
+/// envelope)` as a simulation event.
+pub struct RpcBus {
+    latency: LatencyModel,
+    rng: DetRng,
+    next_call: u64,
+    stats: RpcStats,
+}
+
+impl RpcBus {
+    /// Creates a bus with the given latency model and RNG stream.
+    pub fn new(latency: LatencyModel, rng: DetRng) -> Self {
+        RpcBus {
+            latency,
+            rng,
+            next_call: 0,
+            stats: RpcStats::default(),
+        }
+    }
+
+    /// Stamps a fresh request envelope. The returned delivery time is
+    /// `now + sampled latency`.
+    pub fn send<M>(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        msg: M,
+    ) -> (SimTime, Envelope<M>) {
+        let call = CallId(self.next_call);
+        self.next_call += 1;
+        self.dispatch(now, call, from, to, msg)
+    }
+
+    /// Stamps a response envelope correlated with `call` (the request's
+    /// id), addressed back to the requester.
+    pub fn reply<M>(
+        &mut self,
+        now: SimTime,
+        call: CallId,
+        from: Endpoint,
+        to: Endpoint,
+        msg: M,
+    ) -> (SimTime, Envelope<M>) {
+        self.dispatch(now, call, from, to, msg)
+    }
+
+    fn dispatch<M>(
+        &mut self,
+        now: SimTime,
+        call: CallId,
+        from: Endpoint,
+        to: Endpoint,
+        msg: M,
+    ) -> (SimTime, Envelope<M>) {
+        let latency = self.latency.sample(&mut self.rng);
+        self.stats.sent += 1;
+        self.stats.total_latency += latency;
+        self.stats.max_latency = self.stats.max_latency.max(latency);
+        (
+            now + latency,
+            Envelope {
+                call,
+                from,
+                to,
+                sent_at: now,
+                msg,
+            },
+        )
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> RpcStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus_fixed(us: u64) -> RpcBus {
+        RpcBus::new(
+            LatencyModel::fixed(SimDuration::from_micros(us)),
+            DetRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn send_stamps_and_delays() {
+        let mut bus = bus_fixed(100);
+        let now = SimTime::from_millis(5);
+        let (at, env) = bus.send(now, Endpoint(0), Endpoint(1), "hello");
+        assert_eq!(at, now + SimDuration::from_micros(100));
+        assert_eq!(env.from, Endpoint(0));
+        assert_eq!(env.to, Endpoint(1));
+        assert_eq!(env.sent_at, now);
+        assert_eq!(env.msg, "hello");
+    }
+
+    #[test]
+    fn call_ids_are_fresh_per_request() {
+        let mut bus = bus_fixed(1);
+        let (_, a) = bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ());
+        let (_, b) = bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ());
+        assert_ne!(a.call, b.call);
+    }
+
+    #[test]
+    fn reply_preserves_call_id() {
+        let mut bus = bus_fixed(1);
+        let (_, req) = bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), "req");
+        let (_, resp) = bus.reply(
+            SimTime::from_millis(1),
+            req.call,
+            Endpoint(1),
+            Endpoint(0),
+            "resp",
+        );
+        assert_eq!(resp.call, req.call);
+        assert_eq!(resp.to, Endpoint(0));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bus = bus_fixed(50);
+        for _ in 0..4 {
+            bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ());
+        }
+        let s = bus.stats();
+        assert_eq!(s.sent, 4);
+        assert_eq!(s.mean_latency(), SimDuration::from_micros(50));
+        assert_eq!(s.max_latency, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn jitter_varies_but_stays_bounded() {
+        let model = LatencyModel {
+            base: SimDuration::from_micros(100),
+            jitter_sigma: 0.2,
+        };
+        let mut bus = RpcBus::new(model, DetRng::seed_from_u64(7));
+        let mut latencies = Vec::new();
+        for _ in 0..200 {
+            let (at, _) = bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ());
+            latencies.push(at.saturating_since(SimTime::ZERO));
+        }
+        let min = latencies.iter().min().unwrap();
+        let max = latencies.iter().max().unwrap();
+        assert!(min < max, "jitter must vary");
+        // jitter_factor clamps at ±4σ = ±80%.
+        assert!(*min >= SimDuration::from_micros(20));
+        assert!(*max <= SimDuration::from_micros(180));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut bus = RpcBus::new(LatencyModel::default(), DetRng::seed_from_u64(9));
+            (0..50)
+                .map(|_| bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ()).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        let bus = bus_fixed(1);
+        assert_eq!(bus.stats().mean_latency(), SimDuration::ZERO);
+    }
+}

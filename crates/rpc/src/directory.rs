@@ -1,0 +1,87 @@
+//! Endpoint addressing.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Address of an RPC party (manager, worker, side task, trainer rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint(pub u32);
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Allocates endpoints and remembers their diagnostic names.
+#[derive(Debug, Default)]
+pub struct Directory {
+    names: BTreeMap<Endpoint, String>,
+    next: u32,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new endpoint under `name`.
+    pub fn register(&mut self, name: impl Into<String>) -> Endpoint {
+        let ep = Endpoint(self.next);
+        self.next += 1;
+        self.names.insert(ep, name.into());
+        ep
+    }
+
+    /// The name an endpoint was registered under.
+    pub fn name(&self, ep: Endpoint) -> Option<&str> {
+        self.names.get(&ep).map(String::as_str)
+    }
+
+    /// Finds an endpoint by exact name (first match in registration order).
+    pub fn lookup(&self, name: &str) -> Option<Endpoint> {
+        self.names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(ep, _)| *ep)
+    }
+
+    /// Number of registered endpoints.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut d = Directory::new();
+        let mgr = d.register("manager");
+        let w0 = d.register("worker0");
+        assert_ne!(mgr, w0);
+        assert_eq!(d.name(mgr), Some("manager"));
+        assert_eq!(d.lookup("worker0"), Some(w0));
+        assert_eq!(d.lookup("nope"), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn endpoints_are_unique() {
+        let mut d = Directory::new();
+        let eps: Vec<Endpoint> = (0..100).map(|i| d.register(format!("ep{i}"))).collect();
+        let mut dedup = eps.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), eps.len());
+    }
+}

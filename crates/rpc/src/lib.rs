@@ -1,0 +1,26 @@
+//! # freeride-rpc — latency-modelled in-simulation RPC
+//!
+//! The paper wires its components — the instrumented DeepSpeed trainer, the
+//! side-task manager, per-GPU workers, and side-task processes — together
+//! with gRPC (§4.6). The middleware's residual overhead partially comes
+//! from these RPCs: a bubble report and a `StartSideTask()` round trip
+//! must happen before a side task can use a bubble, and a
+//! `PauseSideTask()` must land before the bubble ends.
+//!
+//! This crate is the deterministic stand-in: typed envelopes delivered
+//! after a configurable latency (fixed floor plus seeded jitter), with
+//! correlation ids for request/response pairing and per-endpoint delivery
+//! statistics. The bus does not own an event loop; it computes delivery
+//! times and the embedding [`World`] schedules them, keeping the whole
+//! system single-threaded and replayable.
+//!
+//! [`World`]: freeride_sim::World
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod directory;
+
+pub use bus::{CallId, Envelope, LatencyModel, RpcBus, RpcStats};
+pub use directory::{Directory, Endpoint};

@@ -1,0 +1,371 @@
+//! # freeride-rt — the FreeRide middleware on real OS threads
+//!
+//! The rest of this workspace reproduces the paper inside a deterministic
+//! simulation. This crate is the complementary proof that the middleware's
+//! *mechanisms* — the state machine, the iterative interface's
+//! between-steps transition polling, the program-directed remaining-time
+//! check, and bubble-driven start/pause — work on actual concurrency:
+//! a wall-clock trainer thread emits bubble begin/end events, a manager
+//! thread relays `Start`/`Pause` commands, and a side-task thread runs a
+//! real [`SideTaskWorkload`] step loop that parks itself between bubbles.
+//!
+//! Thread parking stands in for the paper's `SIGTSTP`/`SIGCONT`; channel
+//! messages stand in for gRPC. Everything is cooperative (Rust threads
+//! cannot be `SIGKILL`ed), which corresponds to the paper's iterative
+//! interface — the imperative interface's kernel-drain effect is
+//! inherently a GPU phenomenon and stays in the simulation.
+//!
+//! ## Example
+//!
+//! ```
+//! use freeride_rt::{RtConfig, run_realtime};
+//! use freeride_tasks::WorkloadKind;
+//! use std::time::Duration;
+//!
+//! let report = run_realtime(RtConfig {
+//!     bubble_len: Duration::from_millis(40),
+//!     busy_len: Duration::from_millis(40),
+//!     cycles: 6,
+//!     step_len: Duration::from_millis(4),
+//!     ..RtConfig::default()
+//! }, WorkloadKind::PageRank.build(1));
+//!
+//! assert!(report.steps_in_bubbles > 0);
+//! // The program-directed check keeps steps out of busy periods.
+//! assert_eq!(report.steps_outside_bubbles, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use freeride_tasks::SideTaskWorkload;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of a real-time harvesting session.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Length of each bubble (idle period) the trainer produces.
+    pub bubble_len: Duration,
+    /// Length of each busy (training op) period between bubbles.
+    pub busy_len: Duration,
+    /// Number of busy/bubble cycles to run.
+    pub cycles: usize,
+    /// Wall-clock duration of one side-task step (the step sleeps this
+    /// long around the real computation, emulating a GPU kernel).
+    pub step_len: Duration,
+    /// Program-directed safety margin added to `step_len` when checking
+    /// the remaining bubble time.
+    pub safety_margin: Duration,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            bubble_len: Duration::from_millis(50),
+            busy_len: Duration::from_millis(50),
+            cycles: 8,
+            step_len: Duration::from_millis(5),
+            safety_margin: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Outcome of a real-time session.
+#[derive(Debug, Clone, Copy)]
+pub struct RtReport {
+    /// Steps whose full execution fit inside a bubble.
+    pub steps_in_bubbles: u64,
+    /// Steps that overlapped a busy period (must be 0 for the iterative
+    /// interface with an honest margin).
+    pub steps_outside_bubbles: u64,
+    /// Total wall-clock time of the session.
+    pub elapsed: Duration,
+    /// Bubbles announced by the trainer.
+    pub bubbles: u64,
+}
+
+/// A bubble announcement from the trainer (start instant + duration), the
+/// wall-clock analogue of `freeride_pipeline::BubbleReport`.
+#[derive(Debug, Clone, Copy)]
+struct RtBubble {
+    start: Instant,
+    duration: Duration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskCommand {
+    Start { deadline_in: Duration },
+    Pause,
+    Stop,
+}
+
+/// Shared pause/resume latch: the wall-clock analogue of the interface's
+/// state polling. The side-task thread parks on the condvar while paused.
+struct Latch {
+    state: Mutex<Option<TaskCommand>>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn send(&self, cmd: TaskCommand) {
+        *self.state.lock() = Some(cmd);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a command is available, consuming it.
+    fn wait(&self) -> TaskCommand {
+        let mut guard = self.state.lock();
+        loop {
+            if let Some(cmd) = guard.take() {
+                return cmd;
+            }
+            self.cv.wait(&mut guard);
+        }
+    }
+
+    /// Non-blocking poll (the iterative interface's between-steps check).
+    fn poll(&self) -> Option<TaskCommand> {
+        self.state.lock().take()
+    }
+}
+
+/// Runs a trainer thread, a manager, and one side task on real threads;
+/// returns when all `cycles` have completed and the task has stopped.
+pub fn run_realtime(cfg: RtConfig, mut workload: Box<dyn SideTaskWorkload>) -> RtReport {
+    let (bubble_tx, bubble_rx): (Sender<Option<RtBubble>>, Receiver<Option<RtBubble>>) =
+        bounded(16);
+    let latch = Arc::new(Latch::new());
+    let session_start = Instant::now();
+
+    // Trainer thread: alternating busy periods and bubbles, announcing
+    // each bubble like the instrumented DeepSpeed (§4.6). Busy intervals
+    // are recorded so the report can detect overlap.
+    let busy_windows: Arc<Mutex<Vec<(Instant, Instant)>>> = Arc::new(Mutex::new(Vec::new()));
+    let trainer = {
+        let busy_windows = Arc::clone(&busy_windows);
+        let cfg = cfg.clone();
+        thread::spawn(move || {
+            for _ in 0..cfg.cycles {
+                let busy_start = Instant::now();
+                // "Training op": burn wall-clock time.
+                thread::sleep(cfg.busy_len);
+                busy_windows.lock().push((busy_start, Instant::now()));
+                // Bubble begins: report it.
+                let bubble = RtBubble {
+                    start: Instant::now(),
+                    duration: cfg.bubble_len,
+                };
+                let _ = bubble_tx.send(Some(bubble));
+                thread::sleep(cfg.bubble_len);
+            }
+            let _ = bubble_tx.send(None); // training done
+        })
+    };
+
+    // Manager thread: Algorithm 2 in the small — start the task when a
+    // bubble is reported, pause it when the bubble's predicted end passes.
+    let manager = {
+        let latch = Arc::clone(&latch);
+        thread::spawn(move || {
+            while let Ok(msg) = bubble_rx.recv() {
+                match msg {
+                    Some(bubble) => {
+                        let now = Instant::now();
+                        let consumed = now.saturating_duration_since(bubble.start);
+                        let Some(remaining) = bubble.duration.checked_sub(consumed) else {
+                            continue; // stale bubble
+                        };
+                        latch.send(TaskCommand::Start {
+                            deadline_in: remaining,
+                        });
+                        thread::sleep(remaining);
+                        latch.send(TaskCommand::Pause);
+                    }
+                    None => {
+                        latch.send(TaskCommand::Stop);
+                        break;
+                    }
+                }
+            }
+        })
+    };
+
+    // Side-task thread: the iterative interface. Parks while paused;
+    // while running, executes one step at a time, re-checking the
+    // remaining time (program-directed) and the latch between steps.
+    let side = {
+        let latch = Arc::clone(&latch);
+        let cfg = cfg.clone();
+        thread::spawn(move || {
+            workload.create();
+            workload.init_gpu();
+            let mut step_spans: Vec<(Instant, Instant)> = Vec::new();
+            #[allow(unused_assignments)]
+            let mut deadline: Option<Instant> = None;
+            'life: loop {
+                // Paused (or fresh): block for a command.
+                let cmd = latch.wait();
+                match cmd {
+                    TaskCommand::Start { deadline_in } => {
+                        deadline = Some(Instant::now() + deadline_in);
+                    }
+                    TaskCommand::Pause => continue 'life,
+                    TaskCommand::Stop => break 'life,
+                }
+                // RUNNING: step until paused or out of time.
+                loop {
+                    match latch.poll() {
+                        Some(TaskCommand::Pause) => break,
+                        Some(TaskCommand::Stop) => break 'life,
+                        Some(TaskCommand::Start { deadline_in }) => {
+                            deadline = Some(Instant::now() + deadline_in);
+                        }
+                        None => {}
+                    }
+                    let now = Instant::now();
+                    let enough = deadline.is_some_and(|d| {
+                        d.saturating_duration_since(now) >= cfg.step_len + cfg.safety_margin
+                    });
+                    if !enough {
+                        // Insufficient time: idle until the next command.
+                        let cmd = latch.wait();
+                        match cmd {
+                            TaskCommand::Start { deadline_in } => {
+                                deadline = Some(Instant::now() + deadline_in);
+                                continue;
+                            }
+                            TaskCommand::Pause => break,
+                            TaskCommand::Stop => break 'life,
+                        }
+                    }
+                    let begin = Instant::now();
+                    workload.run_step();
+                    // Emulate the kernel's duration.
+                    thread::sleep(cfg.step_len);
+                    step_spans.push((begin, Instant::now()));
+                }
+            }
+            step_spans
+        })
+    };
+
+    trainer.join().expect("trainer thread");
+    manager.join().expect("manager thread");
+    let spans = side.join().expect("side-task thread");
+
+    // Classify steps against the busy windows (with a small scheduling
+    // tolerance — thread wake-ups are not instant).
+    let tolerance = Duration::from_millis(2);
+    let busy = busy_windows.lock();
+    let mut inside = 0u64;
+    let mut outside = 0u64;
+    for (b, e) in spans.iter() {
+        let overlapped = busy.iter().any(|(bs, be)| {
+            let bs = *bs + tolerance;
+            let be = be.checked_sub(tolerance).unwrap_or(*be);
+            *e > bs && *b < be
+        });
+        if overlapped {
+            outside += 1;
+        } else {
+            inside += 1;
+        }
+    }
+    RtReport {
+        steps_in_bubbles: inside,
+        steps_outside_bubbles: outside,
+        elapsed: session_start.elapsed(),
+        bubbles: cfg.cycles as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeride_tasks::WorkloadKind;
+
+    fn cfg() -> RtConfig {
+        RtConfig {
+            bubble_len: Duration::from_millis(40),
+            busy_len: Duration::from_millis(40),
+            cycles: 5,
+            step_len: Duration::from_millis(4),
+            safety_margin: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn side_task_runs_only_in_bubbles() {
+        let report = run_realtime(cfg(), WorkloadKind::PageRank.build(7));
+        assert!(report.steps_in_bubbles >= 10, "{report:?}");
+        assert_eq!(report.steps_outside_bubbles, 0, "{report:?}");
+        assert_eq!(report.bubbles, 5);
+    }
+
+    #[test]
+    fn harvest_scales_with_bubble_length() {
+        let short = run_realtime(
+            RtConfig {
+                bubble_len: Duration::from_millis(20),
+                ..cfg()
+            },
+            WorkloadKind::PageRank.build(1),
+        );
+        let long = run_realtime(
+            RtConfig {
+                bubble_len: Duration::from_millis(80),
+                ..cfg()
+            },
+            WorkloadKind::PageRank.build(1),
+        );
+        assert!(
+            long.steps_in_bubbles > 2 * short.steps_in_bubbles,
+            "short {short:?} vs long {long:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_bubbles_yield_no_steps() {
+        // Bubbles shorter than one step + margin: the program-directed
+        // check must refuse every launch.
+        let report = run_realtime(
+            RtConfig {
+                bubble_len: Duration::from_millis(3),
+                step_len: Duration::from_millis(6),
+                ..cfg()
+            },
+            WorkloadKind::PageRank.build(2),
+        );
+        assert_eq!(report.steps_in_bubbles, 0, "{report:?}");
+        assert_eq!(report.steps_outside_bubbles, 0, "{report:?}");
+    }
+
+    #[test]
+    fn session_terminates_promptly() {
+        let c = cfg();
+        let expected = (c.bubble_len + c.busy_len) * c.cycles as u32;
+        let report = run_realtime(c, WorkloadKind::ImageProc.build(3));
+        // Generous bound: scheduling noise, but no runaway threads.
+        assert!(
+            report.elapsed < expected + Duration::from_millis(500),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn real_workload_state_advances() {
+        let report = run_realtime(cfg(), WorkloadKind::GraphSgd.build(5));
+        assert!(report.steps_in_bubbles > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # freeride-tasks — side-task workloads and their profiles
+//!
+//! The paper evaluates FreeRide with three classes of side tasks
+//! (§6.1.4): model training (ResNet18/50, VGG19), graph analytics
+//! (PageRank, Graph SGD from Gardenia over Orkut), and image processing
+//! (nvJPEG resize + watermark). This crate provides:
+//!
+//! * **Real computations** for each class — a dense NN trained by manual
+//!   backprop, PageRank and SGD matrix factorisation over synthetic
+//!   power-law graphs, and bilinear resize + watermark over synthetic
+//!   images — wrapped in the step-wise [`SideTaskWorkload`] trait the
+//!   middleware drives;
+//! * **Calibrated profiles** ([`WorkloadProfile`]) carrying each task's
+//!   GPU memory, per-step duration per platform, and interference
+//!   characteristics (`DESIGN.md` §5);
+//! * **Server specs and prices** for the cost-savings metric.
+//!
+//! ## Example
+//!
+//! ```
+//! use freeride_tasks::{WorkloadKind, SideTaskWorkload};
+//!
+//! let mut task = WorkloadKind::PageRank.build(42);
+//! task.create();     // host memory (CREATED)
+//! task.init_gpu();   // GPU memory (PAUSED)
+//! let delta = task.run_step();
+//! assert!(delta > 0.0);
+//!
+//! let profile = WorkloadKind::ResNet18.profile();
+//! assert!((profile.gpu_mem.as_gib_f64() - 2.63).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod graph;
+mod image;
+mod nn;
+mod profiles;
+mod workload;
+
+pub use cost::ServerSpec;
+pub use graph::{CsrGraph, GraphSgd, PageRank};
+pub use image::{Image, ImagePipeline};
+pub use nn::{Matrix, NnTraining};
+pub use profiles::{WorkloadKind, WorkloadProfile, DEFAULT_BATCH};
+pub use workload::{
+    GraphSgdTask, ImageTask, NnTrainingTask, PageRankTask, SideTaskWorkload,
+};

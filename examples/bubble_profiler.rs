@@ -1,0 +1,57 @@
+//! Offline bubble profiling (the paper's §4.3 workflow, step ➋): before
+//! serving side tasks, FreeRide measures the shapes of a training job's
+//! bubbles — duration, position, classification, and free GPU memory per
+//! stage — so the manager can place tasks and bound their steps.
+//!
+//! Run: `cargo run --release --example bubble_profiler [params_b]`
+
+use freeride::pipeline::{profile_bubbles, ModelSpec, PipelineConfig, ScheduleKind};
+
+fn main() {
+    let params: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.6);
+    let model = ModelSpec::by_params_b(params);
+    let cfg = PipelineConfig::paper_default(model);
+
+    println!("profiling bubbles of a {params}B model (4 stages, 4 micro-batches)…");
+    let profile = profile_bubbles(&cfg, ScheduleKind::OneFOneB);
+
+    println!();
+    println!(
+        "{:<7} {:<5} {:>12} {:>12} {:>14}",
+        "stage", "type", "start", "duration", "free memory"
+    );
+    for stage in 0..cfg.stages {
+        for b in profile.stage_bubbles(stage) {
+            println!(
+                "{:<7} {:<5} {:>12} {:>12} {:>14}",
+                stage,
+                b.kind.to_string(),
+                format!("+{}", b.start_offset),
+                format!("{}", b.duration),
+                format!("{}", cfg.stage_free_memory(stage)),
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "{} bubbles/epoch; shortest {}, longest {}",
+        profile.len(),
+        profile.min_duration().unwrap(),
+        profile.max_duration().unwrap()
+    );
+    println!();
+    println!("what fits where (strictly less memory than the stage's free memory):");
+    for stage in 0..cfg.stages {
+        let free = cfg.stage_free_memory(stage);
+        let fitting: Vec<&str> = freeride::tasks::WorkloadKind::ALL
+            .iter()
+            .filter(|k| k.profile().gpu_mem < free)
+            .map(|k| k.name())
+            .collect();
+        println!("  stage {stage} ({free} free): {}", fitting.join(", "));
+    }
+}

@@ -1,0 +1,69 @@
+//! # FreeRide — harvesting bubbles in pipeline parallelism
+//!
+//! A from-scratch Rust reproduction of *"FreeRide: Harvesting Bubbles in
+//! Pipeline Parallelism"* (ACM Middleware 2025): a middleware that runs
+//! generic GPU *side tasks* inside the bubbles of pipeline-parallel LLM
+//! training with ~1% overhead, plus every substrate the paper depends on
+//! (simulated multi-GPU server, DeepSpeed-style pipeline engine, CUDA-MPS
+//! sharing semantics, gRPC-style RPC, and the six evaluation workloads).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `freeride-sim` | deterministic discrete-event engine |
+//! | [`gpu`] | `freeride-gpu` | simulated GPUs, MPS, containers |
+//! | [`rpc`] | `freeride-rpc` | latency-modelled RPC bus |
+//! | [`pipeline`] | `freeride-pipeline` | pipeline training + bubbles |
+//! | [`tasks`] | `freeride-tasks` | side-task workloads + profiles |
+//! | [`core`] | `freeride-core` | the FreeRide middleware itself |
+//! | [`rt`] | `freeride-rt` | the middleware on real OS threads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use freeride::prelude::*;
+//!
+//! // The paper's main setup: 3.6B nanoGPT, 4 stages, 4 micro-batches.
+//! let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+//!     .with_epochs(3);
+//!
+//! // Train alone, then train while harvesting bubbles with PageRank.
+//! let baseline = run_baseline(&pipeline);
+//! let run = run_colocation(
+//!     &pipeline,
+//!     &FreeRideConfig::iterative(),
+//!     &Submission::per_worker(WorkloadKind::PageRank, 4),
+//! );
+//!
+//! let report = evaluate(baseline, run.total_time, &run.work());
+//! assert!(report.time_increase < 0.02); // ~1% overhead
+//! assert!(report.cost_savings > 0.05);  // real savings
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use freeride_core as core;
+pub use freeride_gpu as gpu;
+pub use freeride_pipeline as pipeline;
+pub use freeride_rpc as rpc;
+pub use freeride_rt as rt;
+pub use freeride_sim as sim;
+pub use freeride_tasks as tasks;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use freeride_core::{
+        evaluate, run_baseline, run_colocation, time_increase, ColocationMode,
+        ColocationRun, CostReport, FreeRideConfig, InterfaceKind, Misbehavior,
+        SideTaskManager, SideTaskState, StopReason, Submission, TaskId, Transition,
+    };
+    pub use freeride_gpu::{GpuDevice, GpuId, MemBytes, Priority};
+    pub use freeride_pipeline::{
+        run_training, BubbleKind, BubbleProfile, BubbleReport, ModelSpec,
+        PipelineConfig, ScheduleKind,
+    };
+    pub use freeride_sim::{DetRng, SimDuration, SimTime, Simulation, World};
+    pub use freeride_tasks::{ServerSpec, SideTaskWorkload, WorkloadKind, WorkloadProfile};
+}

@@ -1,0 +1,82 @@
+//! Reproducibility: the whole evaluation is a deterministic simulation —
+//! identical seeds must give bit-identical runs, and different seeds must
+//! only perturb what randomness touches (RPC jitter), never the physics.
+
+use freeride::prelude::*;
+
+fn pipeline() -> PipelineConfig {
+    PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(4)
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let p = pipeline();
+    let subs = Submission::mixed();
+    let a = run_colocation(&p, &FreeRideConfig::iterative().with_seed(7), &subs);
+    let b = run_colocation(&p, &FreeRideConfig::iterative().with_seed(7), &subs);
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.epoch_times, b.epoch_times);
+    assert_eq!(a.bubbles_reported, b.bubbles_reported);
+    let steps_a: Vec<u64> = a.tasks.iter().map(|t| t.steps).collect();
+    let steps_b: Vec<u64> = b.tasks.iter().map(|t| t.steps).collect();
+    assert_eq!(steps_a, steps_b);
+}
+
+#[test]
+fn different_seeds_only_jitter_the_margins() {
+    let p = pipeline();
+    let subs = Submission::per_worker(WorkloadKind::ResNet18, 4);
+    let a = run_colocation(&p, &FreeRideConfig::iterative().with_seed(1), &subs);
+    let b = run_colocation(&p, &FreeRideConfig::iterative().with_seed(2), &subs);
+    // RPC jitter shifts step counts by at most a few steps per bubble.
+    let sa: u64 = a.tasks.iter().map(|t| t.steps).sum();
+    let sb: u64 = b.tasks.iter().map(|t| t.steps).sum();
+    let diff = sa.abs_diff(sb) as f64 / sa.max(sb) as f64;
+    assert!(diff < 0.05, "seeds changed throughput by {diff}: {sa} vs {sb}");
+    // Training time is physics, not randomness: within 0.1%.
+    let dt = (a.total_time.as_secs_f64() - b.total_time.as_secs_f64()).abs()
+        / a.total_time.as_secs_f64();
+    assert!(dt < 0.001, "training time diverged by {dt}");
+}
+
+#[test]
+fn baseline_training_is_seed_free_and_stable() {
+    let p = pipeline();
+    let a = run_baseline(&p);
+    let b = run_baseline(&p);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn epochs_are_identical_after_warmup() {
+    // Paper §8: pipeline training has a stable throughput and pattern.
+    let p = pipeline();
+    let run = run_colocation(
+        &p,
+        &FreeRideConfig::iterative(),
+        &Submission::per_worker(WorkloadKind::PageRank, 4),
+    );
+    // Serving epochs (after the profiling epoch) are near-identical: the
+    // only variation is RPC jitter, far below 1%.
+    let serving = &run.epoch_times[1..];
+    let min = serving.iter().min().unwrap().as_secs_f64();
+    let max = serving.iter().max().unwrap().as_secs_f64();
+    assert!(
+        (max - min) / min < 0.01,
+        "serving epochs vary too much: {min} vs {max}"
+    );
+}
+
+#[test]
+fn workload_computations_are_deterministic_end_to_end() {
+    // Two identical runs must leave the real workloads in identical
+    // states (steps → identical data streams).
+    let p = pipeline();
+    let subs = Submission::per_worker(WorkloadKind::GraphSgd, 4);
+    let a = run_colocation(&p, &FreeRideConfig::iterative().with_seed(3), &subs);
+    let b = run_colocation(&p, &FreeRideConfig::iterative().with_seed(3), &subs);
+    for (ta, tb) in a.tasks.iter().zip(&b.tasks) {
+        assert_eq!(ta.steps, tb.steps);
+        assert_eq!(ta.worker, tb.worker);
+    }
+}

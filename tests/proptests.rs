@@ -1,0 +1,210 @@
+//! Property-based tests over the core data structures and invariants:
+//! schedules, the state machine, placement, memory accounting, the event
+//! queue, and whole-pipeline termination for arbitrary shapes.
+
+use freeride::core::{
+    next_state, PlacementPolicy, SideTaskManager, SideTaskState, TaskId, Transition,
+};
+use freeride::gpu::{MemBytes, MemoryPool};
+use freeride::pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
+use freeride::sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn any_schedule_shape_is_valid(
+        stages in 2usize..10,
+        micro_batches in 1usize..24,
+        gpipe in any::<bool>(),
+    ) {
+        let kind = if gpipe { ScheduleKind::GPipe } else { ScheduleKind::OneFOneB };
+        let s = Schedule::build(kind, stages, micro_batches);
+        s.assert_valid();
+        prop_assert_eq!(s.num_stages(), stages);
+        for st in 0..stages {
+            prop_assert_eq!(s.stage_plan(st).len(), 2 * micro_batches + 1);
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn event_queue_cancellation_preserves_others(
+        times in prop::collection::vec(0u64..100_000, 2..100),
+        cancel_idx in prop::collection::vec(any::<prop::sample::Index>(), 1..10),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| q.push(SimTime::from_nanos(*t), i))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for idx in cancel_idx {
+            let i = idx.index(ids.len());
+            if cancelled.insert(i) {
+                prop_assert!(q.cancel(ids[i]));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, v)) = q.pop() {
+            prop_assert!(!cancelled.contains(&v), "cancelled event delivered");
+            seen.insert(v);
+        }
+        prop_assert_eq!(seen.len(), times.len() - cancelled.len());
+    }
+
+    #[test]
+    fn state_machine_never_leaves_stopped(
+        transitions in prop::collection::vec(0usize..6, 0..40),
+    ) {
+        let all = [
+            Transition::CreateSideTask,
+            Transition::InitSideTask,
+            Transition::StartSideTask,
+            Transition::PauseSideTask,
+            Transition::RunNextStep,
+            Transition::StopSideTask,
+        ];
+        let mut state = SideTaskState::Submitted;
+        let mut stopped = false;
+        for idx in transitions {
+            if let Ok(next) = next_state(state, all[idx]) {
+                prop_assert!(!stopped, "transition out of STOPPED");
+                state = next;
+                if state == SideTaskState::Stopped {
+                    stopped = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_machine_gpu_memory_only_after_init(
+        transitions in prop::collection::vec(0usize..6, 0..40),
+    ) {
+        // The paper's resource story: CREATED holds host memory only;
+        // PAUSED/RUNNING hold GPU memory. Check that RUNNING is only
+        // reachable through PAUSED, which is only reachable through
+        // CREATED.
+        let all = [
+            Transition::CreateSideTask,
+            Transition::InitSideTask,
+            Transition::StartSideTask,
+            Transition::PauseSideTask,
+            Transition::RunNextStep,
+            Transition::StopSideTask,
+        ];
+        let mut state = SideTaskState::Submitted;
+        let mut seen_created = false;
+        let mut seen_paused = false;
+        for idx in transitions {
+            if let Ok(next) = next_state(state, all[idx]) {
+                match next {
+                    SideTaskState::Created => seen_created = true,
+                    SideTaskState::Paused => {
+                        prop_assert!(seen_created);
+                        seen_paused = true;
+                    }
+                    SideTaskState::Running => prop_assert!(seen_paused),
+                    _ => {}
+                }
+                state = next;
+            }
+        }
+    }
+
+    #[test]
+    fn placement_respects_memory_under_any_policy(
+        mems in prop::collection::vec(1u64..32, 1..6),
+        tasks in prop::collection::vec(1u64..32, 0..20),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            PlacementPolicy::MinTasks,
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::MostMemory,
+        ][policy_idx];
+        let worker_mems: Vec<MemBytes> = mems.iter().map(|g| MemBytes::from_gib(*g)).collect();
+        let mut m = SideTaskManager::new(worker_mems.clone()).with_policy(policy);
+        for (i, t) in tasks.iter().enumerate() {
+            let req = MemBytes::from_gib(*t);
+            match m.submit(TaskId(i as u64), req) {
+                Ok((w, _)) => prop_assert!(worker_mems[w] > req, "overcommitted worker {w}"),
+                Err(_) => {
+                    // Rejection must mean no worker could hold it.
+                    prop_assert!(worker_mems.iter().all(|wm| *wm <= req));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_tasks_placement_is_balanced(count in 1usize..16) {
+        let mut m = SideTaskManager::new(vec![MemBytes::from_gib(10); 4]);
+        for i in 0..count {
+            m.submit(TaskId(i as u64), MemBytes::from_gib(1)).unwrap();
+        }
+        let counts: Vec<usize> = (0..4).map(|w| m.worker(w).task_count()).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn memory_pool_never_overcommits(
+        ops in prop::collection::vec((any::<bool>(), 1u64..10), 0..60),
+    ) {
+        let total = MemBytes::from_gib(32);
+        let mut pool = MemoryPool::new(total);
+        let mut held: Vec<MemBytes> = Vec::new();
+        for (is_alloc, gib) in ops {
+            let size = MemBytes::from_gib(gib);
+            if is_alloc {
+                if pool.reserve(size).is_ok() {
+                    held.push(size);
+                }
+            } else if let Some(s) = held.pop() {
+                pool.release(s);
+            }
+            let held_total: MemBytes = held.iter().copied().sum();
+            prop_assert_eq!(pool.used(), held_total);
+            prop_assert!(pool.used() <= total);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pipeline engine terminates and keeps a sane bubble rate for any
+    /// micro-batch count; the known (s−1)/(m+s−1) law bounds it.
+    #[test]
+    fn training_terminates_for_any_micro_batch_count(mb in 1usize..12) {
+        let cfg = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+            .with_micro_batches(mb)
+            .with_epochs(2);
+        let run = run_training(&cfg, ScheduleKind::OneFOneB);
+        prop_assert_eq!(run.epoch_times.len(), 2);
+        let rate = run.bubble_stats.bubble_rate;
+        let ideal = 3.0 / (mb as f64 + 3.0);
+        prop_assert!(
+            (rate - ideal).abs() < 0.09,
+            "rate {rate} far from the pipeline law {ideal} at mb={mb}"
+        );
+    }
+}

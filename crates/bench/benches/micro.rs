@@ -4,15 +4,9 @@
 //! training epoch with and without FreeRide.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use freeride_core::{
-    run_colocation, FreeRideConfig, SideTaskManager, Submission, TaskId,
-};
-use freeride_gpu::{
-    GpuDevice, GpuId, KernelSpec, MemBytes, MpsPrioritized, Priority,
-};
-use freeride_pipeline::{
-    run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind,
-};
+use freeride_core::{run_colocation, FreeRideConfig, SideTaskManager, Submission, TaskId};
+use freeride_gpu::{GpuDevice, GpuId, KernelSpec, MemBytes, MpsPrioritized, Priority};
+use freeride_pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
 use freeride_sim::{DetRng, EventQueue, SimDuration, SimTime};
 use freeride_tasks::{CsrGraph, ImagePipeline, NnTraining, PageRank, WorkloadKind};
 
@@ -46,7 +40,13 @@ fn bench_device(c: &mut Criterion) {
             for _ in 0..50 {
                 d.launch(
                     now,
-                    KernelSpec::new(train, SimDuration::from_millis(10), 1.0, Priority::High, "fp"),
+                    KernelSpec::new(
+                        train,
+                        SimDuration::from_millis(10),
+                        1.0,
+                        Priority::High,
+                        "fp",
+                    ),
                 )
                 .unwrap();
                 d.launch(
@@ -57,10 +57,7 @@ fn bench_device(c: &mut Criterion) {
                 now = d.next_completion_time().unwrap();
                 let done = d.advance_through(now);
                 black_box(done.len());
-                now = d
-                    .next_completion_time()
-                    .map(|t| t.max(now))
-                    .unwrap_or(now);
+                now = d.next_completion_time().map(|t| t.max(now)).unwrap_or(now);
                 let done = d.advance_through(now);
                 black_box(done.len());
             }

@@ -6,8 +6,8 @@
 //! `figure8`, `figure9`, `ablations`); run those for the detailed output.
 
 use freeride_bench::{
-    all_methods, baseline_of, eval_method, header, main_pipeline, paper_table1,
-    paper_table2, paper_table2_mixed,
+    all_methods, baseline_of, eval_method, header, main_pipeline, paper_table1, paper_table2,
+    paper_table2_mixed,
 };
 use freeride_core::{run_baseline, run_colocation, FreeRideConfig, Submission};
 use freeride_pipeline::{run_training, ModelSpec, PipelineConfig, ScheduleKind};
@@ -152,8 +152,7 @@ fn figure7() {
     }
     println!("(c,d) model-size sweep (PageRank):");
     for params in [1.2f64, 3.6, 6.0] {
-        let p = PipelineConfig::paper_default(ModelSpec::by_params_b(params))
-            .with_epochs(EPOCHS);
+        let p = PipelineConfig::paper_default(ModelSpec::by_params_b(params)).with_epochs(EPOCHS);
         let b = run_baseline(&p);
         let run = run_colocation(&p, &cfg, &Submission::per_worker(WorkloadKind::PageRank, 4));
         let r = freeride_core::evaluate(b, run.total_time, &run.work());

@@ -12,8 +12,8 @@
 
 use freeride_bench::{epochs_from_args, header, main_pipeline};
 use freeride_core::{
-    evaluate, run_baseline, run_baseline_with, run_colocation, FreeRideConfig,
-    Misbehavior, Submission,
+    evaluate, run_baseline, run_baseline_with, run_colocation, FreeRideConfig, Misbehavior,
+    Submission,
 };
 use freeride_pipeline::ScheduleKind;
 use freeride_sim::SimDuration;
@@ -34,7 +34,11 @@ fn main() {
         cfg.grace_period = SimDuration::from_millis(grace_ms);
         // Well-behaved VGG19: long steps keep a kernel in flight when the
         // pause lands; a too-short grace period kills it by mistake.
-        let run = run_colocation(&pipeline, &cfg, &Submission::per_worker(WorkloadKind::Vgg19, 4));
+        let run = run_colocation(
+            &pipeline,
+            &cfg,
+            &Submission::per_worker(WorkloadKind::Vgg19, 4),
+        );
         let vgg_outcome = run
             .tasks
             .iter()
@@ -42,8 +46,9 @@ fn main() {
             .next()
             .unwrap_or_default();
         // Misbehaving task: longer grace = longer overlap before the kill.
-        let rogue = vec![Submission::new(WorkloadKind::ResNet18)
-            .with_misbehavior(Misbehavior::IgnorePause)];
+        let rogue = vec![
+            Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause)
+        ];
         let rogue_run = run_colocation(&pipeline, &cfg, &rogue);
         println!(
             "{:<12} {:>16} {:>16?} {:>10.2}",
@@ -101,8 +106,14 @@ fn main() {
     println!("   forfeits steps that would have fit)");
 
     header("Ablation: pipeline schedule (PageRank side tasks)");
-    println!("{:<12} {:>12} {:>8} {:>8}", "schedule", "bubble rate", "I%", "S%");
-    for (name, kind) in [("1F1B", ScheduleKind::OneFOneB), ("GPipe", ScheduleKind::GPipe)] {
+    println!(
+        "{:<12} {:>12} {:>8} {:>8}",
+        "schedule", "bubble rate", "I%", "S%"
+    );
+    for (name, kind) in [
+        ("1F1B", ScheduleKind::OneFOneB),
+        ("GPipe", ScheduleKind::GPipe),
+    ] {
         let sched_baseline = run_baseline_with(&pipeline, kind);
         let cfg = FreeRideConfig::iterative().with_schedule(kind);
         let run = run_colocation(

@@ -20,8 +20,7 @@ fn main() {
         "{:<10} {:>6} {:>8} {:>8} {:>10}",
         "task", "batch", "I%", "S%", "note"
     );
-    let pipeline =
-        PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(epochs);
+    let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(epochs);
     let baseline = run_baseline(&pipeline);
     for kind in [
         WorkloadKind::ResNet18,
@@ -60,8 +59,8 @@ fn main() {
     println!("{:<10} {:>6} {:>8} {:>8}", "task", "model", "I%", "S%");
     for kind in WorkloadKind::ALL {
         for params in [1.2f64, 3.6, 6.0] {
-            let pipeline = PipelineConfig::paper_default(ModelSpec::by_params_b(params))
-                .with_epochs(epochs);
+            let pipeline =
+                PipelineConfig::paper_default(ModelSpec::by_params_b(params)).with_epochs(epochs);
             let baseline = run_baseline(&pipeline);
             let run = run_colocation(&pipeline, &cfg, &Submission::per_worker(kind, 4));
             let report = evaluate(baseline, run.total_time, &run.work());

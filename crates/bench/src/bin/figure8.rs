@@ -20,8 +20,8 @@ fn main() {
 
     header("Figure 8(a): framework-enforced execution-time limit");
     // A ResNet18 task whose interface ignores PauseSideTask.
-    let rogue = vec![Submission::new(WorkloadKind::ResNet18)
-        .with_misbehavior(Misbehavior::IgnorePause)];
+    let rogue =
+        vec![Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause)];
 
     // Without the limit (grace period effectively infinite): the task
     // overlaps training after every bubble.
@@ -63,11 +63,11 @@ fn main() {
     let mut leaky: Vec<Submission> = (0..3)
         .map(|_| Submission::new(WorkloadKind::PageRank))
         .collect();
-    leaky.push(Submission::new(WorkloadKind::ResNet18).with_misbehavior(
-        Misbehavior::LeakMemory {
+    leaky.push(
+        Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::LeakMemory {
             per_step: MemBytes::from_gib(1),
-        },
-    ));
+        }),
+    );
     let run = run_colocation(&pipeline, &cfg, &leaky);
     let task = run
         .tasks
@@ -98,10 +98,19 @@ fn main() {
         peak < train_only + 9.0,
         "cap must bound the leak well below device capacity"
     );
-    assert!(peak < 46.0, "the cap, not device exhaustion, stops the leak");
-    assert!((last - train_only).abs() < 1e-6, "kill must release everything");
+    assert!(
+        peak < 46.0,
+        "the cap, not device exhaustion, stops the leak"
+    );
+    assert!(
+        (last - train_only).abs() < 1e-6,
+        "kill must release everything"
+    );
     let i = time_increase(baseline, run.total_time);
-    println!("training time increase during all of this: {:.2}%", i * 100.0);
+    println!(
+        "training time increase during all of this: {:.2}%",
+        i * 100.0
+    );
     println!("  (paper: the process exceeding its 8 GB limit is terminated to");
     println!("   release GPU memory; other processes remain unaffected)");
 }

@@ -20,14 +20,7 @@ fn main() {
     header("Table 1: side-task throughput (steps/s) per platform");
     println!(
         "{:<10} {:>10} {:>10} {:>8} | {:>12} {:>10} | {:>12} {:>10}",
-        "Side task",
-        "bubbles",
-        "Server-II",
-        "CPU",
-        "x Server-II",
-        "(paper)",
-        "x CPU",
-        "(paper)"
+        "Side task", "bubbles", "Server-II", "CPU", "x Server-II", "(paper)", "x CPU", "(paper)"
     );
 
     for kind in WorkloadKind::ALL {

@@ -6,8 +6,8 @@
 //! Run: `cargo run --release -p freeride-bench --bin table2 [epochs]`
 
 use freeride_bench::{
-    all_methods, baseline_of, epochs_from_args, eval_method, header, main_pipeline,
-    paper_table2, paper_table2_mixed,
+    all_methods, baseline_of, epochs_from_args, eval_method, header, main_pipeline, paper_table2,
+    paper_table2_mixed,
 };
 use freeride_core::Submission;
 use freeride_tasks::WorkloadKind;

@@ -23,8 +23,7 @@
 #![warn(missing_docs)]
 
 use freeride_core::{
-    evaluate, run_baseline, run_colocation, ColocationRun, CostReport, FreeRideConfig,
-    Submission,
+    evaluate, run_baseline, run_colocation, ColocationRun, CostReport, FreeRideConfig, Submission,
 };
 use freeride_pipeline::{ModelSpec, PipelineConfig};
 use freeride_sim::SimDuration;

@@ -145,7 +145,10 @@ impl FreeRideConfig {
     /// Panics on non-positive grace period or poll interval — both drive
     /// periodic mechanisms that would spin at zero.
     pub fn validate(&self) {
-        assert!(!self.grace_period.is_zero(), "grace period must be positive");
+        assert!(
+            !self.grace_period.is_zero(),
+            "grace period must be positive"
+        );
         assert!(
             !self.manager_poll_interval.is_zero(),
             "poll interval must be positive"

@@ -58,8 +58,7 @@ pub use metrics::{
     evaluate, time_increase, BreakdownFractions, BubbleBreakdown, CostReport, TaskWork,
 };
 pub use orchestrator::{
-    run_baseline, run_baseline_with, run_colocation, ColocationRun, Submission,
-    TaskSummary,
+    run_baseline, run_baseline_with, run_colocation, ColocationRun, Submission, TaskSummary,
 };
 pub use profiler::{profile_side_task, MeasuredProfile};
 pub use state::{next_state, IllegalTransition, SideTaskState, StateMachine, Transition};

@@ -284,9 +284,7 @@ impl SideTaskManager {
             }
 
             // Lines 16–19: advance the current task.
-            let has_bubble = w
-                .current_bubble
-                .is_some_and(|b| b.predicted_end() > now);
+            let has_bubble = w.current_bubble.is_some_and(|b| b.predicted_end() > now);
             let bubble_end = w.current_bubble.map(|b| b.predicted_end());
             let cur = w.current_task.as_mut().expect("set above");
             if cur.awaiting_ack {
@@ -398,7 +396,13 @@ mod tests {
         // 3 GiB task: workers 1, 2, 3 qualify; all empty → first wins.
         let (w, cmd) = m.submit(TaskId(0), gib(3)).unwrap();
         assert_eq!(w, 1);
-        assert_eq!(cmd, ManagerCmd::Create { worker: 1, task: TaskId(0) });
+        assert_eq!(
+            cmd,
+            ManagerCmd::Create {
+                worker: 1,
+                task: TaskId(0)
+            }
+        );
         // Next 3 GiB task: worker 1 now has one task → worker 2.
         let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
         assert_eq!(w, 2);
@@ -430,7 +434,13 @@ mod tests {
         let (w, _) = m.submit(id, mem).unwrap();
         m.on_task_state(w, id, SideTaskState::Created);
         let cmds = m.poll(SimTime::ZERO);
-        assert!(cmds.contains(&ManagerCmd::Init { worker: w, task: id }), "{cmds:?}");
+        assert!(
+            cmds.contains(&ManagerCmd::Init {
+                worker: w,
+                task: id
+            }),
+            "{cmds:?}"
+        );
         m.on_task_state(w, id, SideTaskState::Paused);
         w
     }
@@ -462,7 +472,13 @@ mod tests {
 
         // Bubble ends → Pause.
         let cmds = m.poll(t(510));
-        assert_eq!(cmds, vec![ManagerCmd::Pause { worker: w, task: id }]);
+        assert_eq!(
+            cmds,
+            vec![ManagerCmd::Pause {
+                worker: w,
+                task: id
+            }]
+        );
         m.on_task_state(w, id, SideTaskState::Paused);
         assert!(m.worker(w).current_bubble().is_none());
 
@@ -499,6 +515,7 @@ mod tests {
         let id = TaskId(2);
         let w = admit_and_ready(&mut m, id, gib(3));
         m.add_bubble(w, bubble(0, 100)); // ends at 100
+
         // Polled long after the bubble ended: no Start.
         let cmds = m.poll(t(500));
         assert!(cmds.is_empty(), "{cmds:?}");

@@ -110,7 +110,13 @@ impl BubbleBreakdown {
     /// Fraction helpers for the stacked-bar figure.
     pub fn fractions(&self) -> BreakdownFractions {
         let total = self.total.as_secs_f64();
-        let f = |d: SimDuration| if total > 0.0 { d.as_secs_f64() / total } else { 0.0 };
+        let f = |d: SimDuration| {
+            if total > 0.0 {
+                d.as_secs_f64() / total
+            } else {
+                0.0
+            }
+        };
         BreakdownFractions {
             running: f(self.running),
             runtime: f(self.runtime()),
@@ -163,10 +169,10 @@ mod tests {
         let profile = WorkloadKind::ResNet18.profile();
         let hour = secs(3600.0);
         let run = secs(3600.0 * 1.011);
-        let steps_per_task =
-            (0.38 * 3600.0 / profile.step_server1.as_secs_f64()).round() as u64;
-        let work: Vec<TaskWork> =
-            (0..4).map(|_| TaskWork::new(&profile, steps_per_task)).collect();
+        let steps_per_task = (0.38 * 3600.0 / profile.step_server1.as_secs_f64()).round() as u64;
+        let work: Vec<TaskWork> = (0..4)
+            .map(|_| TaskWork::new(&profile, steps_per_task))
+            .collect();
         let report = evaluate(hour, run, &work);
         assert!((report.time_increase - 0.011).abs() < 1e-9);
         assert!(
@@ -181,11 +187,7 @@ mod tests {
         // 50% overhead with little side work → money lost (MPS/naive rows
         // of Table 2).
         let profile = WorkloadKind::ResNet18.profile();
-        let report = evaluate(
-            secs(3600.0),
-            secs(5400.0),
-            &[TaskWork::new(&profile, 1000)],
-        );
+        let report = evaluate(secs(3600.0), secs(5400.0), &[TaskWork::new(&profile, 1000)]);
         assert!(report.cost_savings < 0.0);
         assert!(report.extra_cost > 0.0);
     }

@@ -17,8 +17,7 @@ use freeride_gpu::{GpuDevice, GpuId, MpsPrioritized, ProcessId, TimeSliced};
 use freeride_pipeline::{BubbleReport, EngineAction, PipelineConfig, PipelineEngine};
 use freeride_rpc::{Directory, Endpoint, Envelope, LatencyModel, RpcBus};
 use freeride_sim::{
-    DetRng, EventId, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder,
-    World,
+    DetRng, EventId, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder, World,
 };
 use freeride_tasks::{WorkloadKind, WorkloadProfile, DEFAULT_BATCH};
 use serde::Serialize;
@@ -150,9 +149,19 @@ enum Ev {
     ManagerPollPeriodic,
     ManagerPollOnce,
     Deliver(Envelope<Msg>),
-    InitDone { worker: usize, task: TaskId },
-    StepLaunch { worker: usize, task: TaskId },
-    GraceCheck { worker: usize, task: TaskId, requested_at: SimTime },
+    InitDone {
+        worker: usize,
+        task: TaskId,
+    },
+    StepLaunch {
+        worker: usize,
+        task: TaskId,
+    },
+    GraceCheck {
+        worker: usize,
+        task: TaskId,
+        requested_at: SimTime,
+    },
 }
 
 struct OrchestratorWorld {
@@ -187,7 +196,14 @@ impl OrchestratorWorld {
             && self.workers.iter().all(|w| !w.has_live_tasks())
     }
 
-    fn send(&mut self, now: SimTime, from: Endpoint, to: Endpoint, msg: Msg, s: &mut Scheduler<'_, Ev>) {
+    fn send(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        msg: Msg,
+        s: &mut Scheduler<'_, Ev>,
+    ) {
         let (at, env) = self.bus.send(now, from, to, msg);
         s.schedule_at(at, Ev::Deliver(env));
     }
@@ -224,13 +240,7 @@ impl OrchestratorWorld {
                 }
                 EngineAction::BubbleStart(r) => {
                     if self.is_freeride() {
-                        self.send(
-                            now,
-                            self.ep_trainer,
-                            self.ep_manager,
-                            Msg::Bubble(r),
-                            s,
-                        );
+                        self.send(now, self.ep_trainer, self.ep_manager, Msg::Bubble(r), s);
                     }
                 }
                 EngineAction::BubbleEnd { .. } => {}
@@ -314,9 +324,7 @@ impl OrchestratorWorld {
                         // straight through Init and then run it
                         // continuously (an infinite "bubble").
                         let next = match state {
-                            SideTaskState::Created => {
-                                Some(ManagerCmd::Init { worker, task })
-                            }
+                            SideTaskState::Created => Some(ManagerCmd::Init { worker, task }),
                             SideTaskState::Paused => Some(ManagerCmd::Start {
                                 worker,
                                 task,
@@ -448,8 +456,8 @@ impl World for OrchestratorWorld {
                     let meta = self.manager.worker(r.stage);
                     let has_assignee = meta.task_count() > 0;
                     let live = has_assignee
-                        && self.workers[r.stage].has_live_tasks()
-                        || !self.pending_create.is_empty() && has_assignee;
+                        && (self.workers[r.stage].has_live_tasks()
+                            || !self.pending_create.is_empty());
                     if !live {
                         self.bubble_unused += r.duration;
                     }
@@ -575,7 +583,11 @@ pub fn run_colocation(
     let mut trace = TraceRecorder::new();
     for (g, d) in world_devices.iter().enumerate() {
         trace.record(&format!("gpu{g}.sm"), SimTime::ZERO, 0.0);
-        trace.record(&format!("gpu{g}.mem"), SimTime::ZERO, d.used_mem().as_gib_f64());
+        trace.record(
+            &format!("gpu{g}.mem"),
+            SimTime::ZERO,
+            d.used_mem().as_gib_f64(),
+        );
     }
 
     let world = OrchestratorWorld {

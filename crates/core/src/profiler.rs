@@ -78,12 +78,16 @@ pub fn profile_side_task(
             device
                 .launch(
                     now,
-                    KernelSpec::new(pid, declared.step_server1, declared.sm_demand, Priority::Low, "profile.step"),
+                    KernelSpec::new(
+                        pid,
+                        declared.step_server1,
+                        declared.sm_demand,
+                        Priority::Low,
+                        "profile.step",
+                    ),
                 )
                 .expect("profiling process alive");
-            let done = device
-                .next_completion_time()
-                .expect("kernel in flight");
+            let done = device.next_completion_time().expect("kernel in flight");
             let completions = device.advance_through(done);
             debug_assert_eq!(completions.len(), 1);
             now = done;
@@ -111,12 +115,8 @@ mod tests {
         for kind in WorkloadKind::ALL {
             let declared = kind.profile();
             let mut workload = kind.build(1);
-            let measured = profile_side_task(
-                workload.as_mut(),
-                &declared,
-                InterfaceKind::Iterative,
-                5,
-            );
+            let measured =
+                profile_side_task(workload.as_mut(), &declared, InterfaceKind::Iterative, 5);
             assert_eq!(measured.gpu_memory, declared.gpu_mem, "{kind:?}");
             assert_eq!(measured.per_step, Some(declared.step_server1), "{kind:?}");
             assert_eq!(measured.steps_measured, 5);

@@ -76,7 +76,11 @@ pub struct IllegalTransition {
 
 impl core::fmt::Display for IllegalTransition {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "illegal transition {:?} from {}", self.transition, self.from)
+        write!(
+            f,
+            "illegal transition {:?} from {}",
+            self.transition, self.from
+        )
     }
 }
 

@@ -10,9 +10,7 @@
 use crate::config::{FreeRideConfig, InterfaceKind};
 use crate::state::{SideTaskState, Transition};
 use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
-use freeride_gpu::{
-    ContainerRegistry, GpuDevice, KernelSpec, Priority, ProcessState,
-};
+use freeride_gpu::{ContainerRegistry, GpuDevice, KernelSpec, Priority, ProcessState};
 use freeride_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -220,12 +218,11 @@ impl Worker {
             insufficient_from: None,
         });
         self.accounting.bubbles_served += 1;
-        let mut effects = vec![WorkerEffect::Ack {
+        self.try_launch_step(now, id, device);
+        vec![WorkerEffect::Ack {
             task: id,
             state: SideTaskState::Running,
-        }];
-        self.try_launch_step(now, id, device, &mut effects);
-        effects
+        }]
     }
 
     /// `PauseSideTask()`: semantics differ per interface (§4.2/§4.5).
@@ -245,13 +242,10 @@ impl Worker {
             at: now + grace,
             requested_at: now,
         }];
-        match task.misbehavior {
-            Misbehavior::IgnorePause => {
-                // The task's interface is broken: it neither pauses nor
-                // updates last_paused. The grace check will SIGKILL it.
-                return effects;
-            }
-            _ => {}
+        if task.misbehavior == Misbehavior::IgnorePause {
+            // The task's interface is broken: it neither pauses nor
+            // updates last_paused. The grace check will SIGKILL it.
+            return effects;
         }
         match task.interface {
             InterfaceKind::Imperative => {
@@ -400,9 +394,8 @@ impl Worker {
             }
             InterfaceKind::Imperative => {
                 // Kernels are enqueued back-to-back.
-                let mut effects = Vec::new();
-                self.launch_step(now, id, device, &mut effects);
-                effects
+                self.launch_step(now, id, device);
+                Vec::new()
             }
         }
     }
@@ -420,22 +413,15 @@ impl Worker {
         if task.state() != SideTaskState::Running || self.active.contains_key(&id) {
             return Vec::new();
         }
-        let mut effects = Vec::new();
-        self.try_launch_step(now, id, device, &mut effects);
-        effects
+        self.try_launch_step(now, id, device);
+        Vec::new()
     }
 
     /// Program-directed mechanism: launch the next step only if the bubble
     /// has room for it (§4.5). Misbehaving `IgnorePause` tasks skip the
     /// check. Imperative tasks never check — that is what the
     /// framework-enforced mechanism is for.
-    fn try_launch_step(
-        &mut self,
-        now: SimTime,
-        id: TaskId,
-        device: &mut GpuDevice,
-        effects: &mut Vec<WorkerEffect>,
-    ) {
+    fn try_launch_step(&mut self, now: SimTime, id: TaskId, device: &mut GpuDevice) {
         let task = self.tasks.get(&id).expect("known task");
         let check = task.interface == InterfaceKind::Iterative
             && task.misbehavior != Misbehavior::IgnorePause;
@@ -452,16 +438,10 @@ impl Worker {
                 return;
             }
         }
-        self.launch_step(now, id, device, effects);
+        self.launch_step(now, id, device);
     }
 
-    fn launch_step(
-        &mut self,
-        now: SimTime,
-        id: TaskId,
-        device: &mut GpuDevice,
-        _effects: &mut [WorkerEffect],
-    ) {
+    fn launch_step(&mut self, now: SimTime, id: TaskId, device: &mut GpuDevice) {
         let task = self.tasks.get(&id).expect("known task");
         let pid = task.pid.expect("running task has a pid");
         let solo = match task.interface {
@@ -656,14 +636,9 @@ mod tests {
         // 100ms bubble fits 3×30.4ms steps (91.2ms + gaps) but not 4.
         let start = t(1000);
         w.handle_start(start, id, t(1100), &mut d);
-        #[allow(unused_assignments)]
-        let mut now = start;
         let mut launches = 0;
-        loop {
-            let Some(next) = d.next_completion_time() else {
-                break;
-            };
-            now = next;
+        while let Some(next) = d.next_completion_time() {
+            let mut now = next;
             let completions = d.advance_through(now);
             assert_eq!(completions.len(), 1);
             launches += 1;
@@ -690,9 +665,10 @@ mod tests {
         assert_eq!(d.active_kernels(), 1);
         // Pause mid-kernel: no immediate Paused ack.
         let fx = w.handle_pause(t(1010), id, &mut d);
-        assert!(fx
-            .iter()
-            .all(|e| !matches!(e, WorkerEffect::Ack { .. })), "{fx:?}");
+        assert!(
+            fx.iter().all(|e| !matches!(e, WorkerEffect::Ack { .. })),
+            "{fx:?}"
+        );
         // Kernel completes → pause takes effect.
         let completions = d.advance_through(t(1031));
         assert_eq!(completions.len(), 1);
@@ -730,8 +706,8 @@ mod tests {
     fn ignore_pause_task_is_grace_killed() {
         let mut d = device();
         let mut w = worker();
-        let task = make_task(1, InterfaceKind::Iterative)
-            .with_misbehavior(Misbehavior::IgnorePause);
+        let task =
+            make_task(1, InterfaceKind::Iterative).with_misbehavior(Misbehavior::IgnorePause);
         let id = task.id;
         w.handle_create(t(0), task, &mut d);
         let fx = w.handle_init(t(1), id, &mut d);
@@ -744,7 +720,9 @@ mod tests {
         // Pause is ignored: schedule returned, but no ack ever.
         let fx = w.handle_pause(t(1100), id, &mut d);
         let (check_at, requested) = match fx[0] {
-            WorkerEffect::ScheduleGraceCheck { at, requested_at, .. } => (at, requested_at),
+            WorkerEffect::ScheduleGraceCheck {
+                at, requested_at, ..
+            } => (at, requested_at),
             _ => panic!("expected grace check, got {fx:?}"),
         };
         // Drain whatever kernel is running so the clock can advance.
@@ -771,7 +749,9 @@ mod tests {
         w.handle_start(t(1000), id, t(2000), &mut d);
         let fx = w.handle_pause(t(1010), id, &mut d);
         let (check_at, requested) = match fx[0] {
-            WorkerEffect::ScheduleGraceCheck { at, requested_at, .. } => (at, requested_at),
+            WorkerEffect::ScheduleGraceCheck {
+                at, requested_at, ..
+            } => (at, requested_at),
             _ => panic!(),
         };
         // Step completes well before the check; task paused.
@@ -786,11 +766,10 @@ mod tests {
     fn memory_leak_hits_cap_and_is_oom_killed() {
         let mut d = device();
         let mut w = worker();
-        let task = make_task(1, InterfaceKind::Iterative).with_misbehavior(
-            Misbehavior::LeakMemory {
+        let task =
+            make_task(1, InterfaceKind::Iterative).with_misbehavior(Misbehavior::LeakMemory {
                 per_step: MemBytes::from_gib(1),
-            },
-        );
+            });
         let id = task.id;
         w.handle_create(t(0), task, &mut d);
         let fx = w.handle_init(t(1), id, &mut d);

@@ -100,7 +100,11 @@ pub struct OomError {
 
 impl core::fmt::Display for OomError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{} requesting {}: {}", self.process, self.requested, self.kind)
+        write!(
+            f,
+            "{} requesting {}: {}",
+            self.process, self.requested, self.kind
+        )
     }
 }
 
@@ -193,10 +197,7 @@ impl GpuDevice {
     ///
     /// Panics if the process is unknown.
     pub fn set_container(&mut self, pid: ProcessId, container: ContainerId) {
-        self.procs
-            .get_mut(&pid)
-            .expect("unknown process")
-            .container = Some(container);
+        self.procs.get_mut(&pid).expect("unknown process").container = Some(container);
     }
 
     /// Looks up a process.
@@ -359,10 +360,7 @@ impl GpuDevice {
             now
         );
         let mut completions = Vec::new();
-        loop {
-            let Some(boundary) = self.next_completion_time() else {
-                break;
-            };
+        while let Some(boundary) = self.next_completion_time() {
             if boundary > now {
                 break;
             }
@@ -499,8 +497,11 @@ mod tests {
     fn solo_kernel_finishes_on_time() {
         let mut d = device();
         let p = d.register_process("train", Priority::High, None);
-        d.launch(SimTime::ZERO, KernelSpec::new(p, ms(100), 1.0, Priority::High, "fp"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(p, ms(100), 1.0, Priority::High, "fp"),
+        )
+        .unwrap();
         assert_eq!(d.next_completion_time(), Some(at(100)));
         let done = d.advance_through(at(100));
         assert_eq!(done.len(), 1);
@@ -527,8 +528,11 @@ mod tests {
         )
         .unwrap();
         d.advance_through(at(50));
-        d.launch(at(50), KernelSpec::new(side, ms(30), 0.5, Priority::Low, "step"))
-            .unwrap();
+        d.launch(
+            at(50),
+            KernelSpec::new(side, ms(30), 0.5, Priority::Low, "step"),
+        )
+        .unwrap();
         let done = d.advance_through(at(200));
         let fp = done.iter().find(|c| c.tag == "fp").unwrap();
         assert_eq!(fp.finished_at, at(125));
@@ -541,8 +545,11 @@ mod tests {
     fn side_kernel_full_speed_in_bubble() {
         let mut d = device();
         let side = d.register_process("side", Priority::Low, None);
-        d.launch(SimTime::ZERO, KernelSpec::new(side, ms(30), 0.8, Priority::Low, "step"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(side, ms(30), 0.8, Priority::Low, "step"),
+        )
+        .unwrap();
         let done = d.advance_through(at(30));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].stretch, SimDuration::ZERO);
@@ -553,10 +560,16 @@ mod tests {
         let mut d = GpuDevice::new(GpuId(1), MemBytes::from_gib(48), Box::new(TimeSliced));
         let a = d.register_process("a", Priority::High, None);
         let b = d.register_process("b", Priority::Low, None);
-        d.launch(SimTime::ZERO, KernelSpec::new(a, ms(100), 1.0, Priority::High, "a"))
-            .unwrap();
-        d.launch(SimTime::ZERO, KernelSpec::new(b, ms(100), 1.0, Priority::Low, "b"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(a, ms(100), 1.0, Priority::High, "a"),
+        )
+        .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(b, ms(100), 1.0, Priority::Low, "b"),
+        )
+        .unwrap();
         // Training at fair share 0.5 → done at 200ms. The side process
         // wastes half its slice on context switches (speed 0.25) until
         // training finishes, then runs alone: 50ms of work left at t=200
@@ -599,14 +612,24 @@ mod tests {
         let side = d.register_process("side", Priority::Low, Some(MemBytes::from_gib(8)));
         d.alloc(side, MemBytes::from_gib(5)).unwrap();
         d.alloc(train, MemBytes::from_gib(20)).unwrap();
-        d.launch(SimTime::ZERO, KernelSpec::new(side, ms(50), 0.5, Priority::Low, "s"))
-            .unwrap();
-        d.launch(SimTime::ZERO, KernelSpec::new(train, ms(100), 1.0, Priority::High, "t"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(side, ms(50), 0.5, Priority::Low, "s"),
+        )
+        .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(train, ms(100), 1.0, Priority::High, "t"),
+        )
+        .unwrap();
 
         let aborted = d.kill_process(at(10), side, ProcessState::OomKilled);
         assert_eq!(aborted.len(), 1);
-        assert_eq!(d.used_mem(), MemBytes::from_gib(20), "side memory reclaimed");
+        assert_eq!(
+            d.used_mem(),
+            MemBytes::from_gib(20),
+            "side memory reclaimed"
+        );
         assert_eq!(d.process(side).unwrap().state(), ProcessState::OomKilled);
         assert!(!d.process(side).unwrap().is_alive());
 
@@ -648,8 +671,11 @@ mod tests {
         let mut d = device();
         let p = d.register_process("train", Priority::High, None);
         assert_eq!(d.occupancy(), 0.0);
-        d.launch(SimTime::ZERO, KernelSpec::new(p, ms(10), 1.0, Priority::High, "fp"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(p, ms(10), 1.0, Priority::High, "fp"),
+        )
+        .unwrap();
         assert_eq!(d.occupancy(), 1.0);
         d.advance_through(at(10));
         assert_eq!(d.occupancy(), 0.0);
@@ -660,17 +686,23 @@ mod tests {
         let mut d = device();
         let train = d.register_process("train", Priority::High, None);
         let side = d.register_process("side", Priority::Low, None);
-        d.launch(SimTime::ZERO, KernelSpec::new(train, ms(1000), 1.0, Priority::High, "t"))
-            .unwrap();
-        d.launch(SimTime::ZERO, KernelSpec::new(side, ms(10), 1.0, Priority::Low, "s"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(train, ms(1000), 1.0, Priority::High, "t"),
+        )
+        .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(side, ms(10), 1.0, Priority::Low, "s"),
+        )
+        .unwrap();
         // Side runs at share 0.5 × grip 0.5 = 0.25: 10ms takes 40ms.
         let done = d.advance_through(at(100));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].tag, "s");
         assert_eq!(done[0].finished_at, at(40));
         // MIN_SPEED remains the hard floor for pathological demand sums.
-        assert!(MIN_SPEED < 0.25);
+        const { assert!(MIN_SPEED < 0.25) };
     }
 
     #[test]
@@ -678,10 +710,16 @@ mod tests {
     fn launch_past_completion_panics() {
         let mut d = device();
         let p = d.register_process("train", Priority::High, None);
-        d.launch(SimTime::ZERO, KernelSpec::new(p, ms(10), 1.0, Priority::High, "fp"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(p, ms(10), 1.0, Priority::High, "fp"),
+        )
+        .unwrap();
         // Completion at 10ms not drained:
-        let _ = d.launch(at(20), KernelSpec::new(p, ms(10), 1.0, Priority::High, "fp2"));
+        let _ = d.launch(
+            at(20),
+            KernelSpec::new(p, ms(10), 1.0, Priority::High, "fp2"),
+        );
     }
 
     #[test]
@@ -692,8 +730,11 @@ mod tests {
         let mut d = device();
         let train = d.register_process("train", Priority::High, None);
         let side = d.register_process("side", Priority::Low, None);
-        d.launch(SimTime::ZERO, KernelSpec::new(train, ms(50), 1.0, Priority::High, "t"))
-            .unwrap();
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(train, ms(50), 1.0, Priority::High, "t"),
+        )
+        .unwrap();
         d.launch(
             SimTime::ZERO,
             KernelSpec::new(side, ms(20), 0.5, Priority::Low, "s").with_intensity(2.0),

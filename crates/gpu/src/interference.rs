@@ -240,7 +240,10 @@ mod tests {
     fn time_sliced_training_gets_fair_share() {
         let m = TimeSliced;
         let speeds = m.speeds(&[k(Priority::High, 1.0, 1.0), k(Priority::Low, 0.9, 1.0)]);
-        assert!((speeds[0] - 1.0 / 1.9).abs() < 1e-12, "training: plain share");
+        assert!(
+            (speeds[0] - 1.0 / 1.9).abs() < 1e-12,
+            "training: plain share"
+        );
         // The side process wastes half its slice on context switches.
         assert!((speeds[1] - 0.5 / 1.9).abs() < 1e-12);
         // Intense side kernels amortise the switching.

@@ -65,7 +65,10 @@ impl KernelSpec {
             sm_demand > 0.0 && sm_demand <= 1.0,
             "sm_demand must be in (0, 1], got {sm_demand}"
         );
-        assert!(!solo_duration.is_zero(), "kernel must have positive duration");
+        assert!(
+            !solo_duration.is_zero(),
+            "kernel must have positive duration"
+        );
         KernelSpec {
             process,
             solo_duration,

@@ -3,8 +3,7 @@
 //! kernel workloads.
 
 use freeride_gpu::{
-    GpuDevice, GpuId, KernelSpec, MemBytes, MpsPrioritized, Priority, ProcessState,
-    TimeSliced,
+    GpuDevice, GpuId, KernelSpec, MemBytes, MpsPrioritized, Priority, ProcessState, TimeSliced,
 };
 use freeride_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -37,7 +36,7 @@ proptest! {
         let mut completions = Vec::new();
         for (i, (dur_ms, demand10, high)) in kernels.iter().enumerate() {
             // Drain anything due before this launch instant.
-            now = now + SimDuration::from_millis(i as u64 * 3);
+            now += SimDuration::from_millis(i as u64 * 3);
             completions.extend(d.advance_through(now));
             let (pid, prio) = if *high { (train, Priority::High) } else { (side, Priority::Low) };
             let spec = KernelSpec::new(
@@ -98,7 +97,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_clock = SimTime::ZERO;
         for (i, ms) in steps.iter().enumerate() {
-            now = now + SimDuration::from_millis(*ms);
+            now += SimDuration::from_millis(*ms);
             d.advance_through(now);
             prop_assert!(d.clock() >= last_clock);
             last_clock = d.clock();

@@ -223,7 +223,10 @@ mod tests {
         p.record(mb(0, 500, 50, BubbleKind::TypeC)); // comm gap: indexed, not a bubble
         p.record(mb(1, 0, 200, BubbleKind::TypeA));
         assert_eq!(p.len(), 2, "comm gap excluded from bubble count");
-        assert_eq!(p.bubble(0, 1).unwrap().duration, SimDuration::from_millis(50));
+        assert_eq!(
+            p.bubble(0, 1).unwrap().duration,
+            SimDuration::from_millis(50)
+        );
         assert!(!p.bubble(0, 1).unwrap().is_bubble());
         assert_eq!(p.bubble(0, 2), None);
         assert_eq!(p.bubble(1, 0).unwrap().kind, BubbleKind::TypeA);

@@ -132,8 +132,7 @@ impl PipelineConfig {
     /// busy time, this is what makes the bubble rate decline slightly with
     /// model size (paper §2.2.2: 42.4% → 40.4%).
     pub fn paper_default(model: ModelSpec) -> Self {
-        let comm =
-            SimDuration::from_millis_f64(2.5 * model.activation_per_microbatch.as_gib_f64());
+        let comm = SimDuration::from_millis_f64(2.5 * model.activation_per_microbatch.as_gib_f64());
         PipelineConfig {
             model,
             stages: 4,
@@ -194,9 +193,7 @@ impl PipelineConfig {
     pub fn stage_memory(&self, stage: StageId) -> MemBytes {
         assert!(stage < self.stages, "stage {stage} out of range");
         let in_flight = (self.stages - stage).min(self.micro_batches) as u64;
-        let act = MemBytes::from_bytes(
-            self.model.activation_per_microbatch.as_bytes() * in_flight,
-        );
+        let act = MemBytes::from_bytes(self.model.activation_per_microbatch.as_bytes() * in_flight);
         self.model.stage_static_mem(self.stages) + act
     }
 

@@ -19,8 +19,7 @@
 //! reported separately so the middleware can detect mispredictions.
 
 use crate::bubble::{
-    BubbleKind, BubbleProfile, BubbleReport, BubbleStats, MeasuredBubble,
-    BUBBLE_REPORT_THRESHOLD,
+    BubbleKind, BubbleProfile, BubbleReport, BubbleStats, MeasuredBubble, BUBBLE_REPORT_THRESHOLD,
 };
 use crate::config::{PipelineConfig, StageId};
 use crate::schedule::{Op, OpKind, Schedule, ScheduleKind};
@@ -506,10 +505,10 @@ mod tests {
         let mut devs = devices(4);
         let mut e = engine();
         e.init(&mut devs);
-        for s in 0..4 {
+        for (s, dev) in devs.iter().enumerate() {
             let pid = e.train_pid(s);
             assert_eq!(e.stage_of_pid(pid), Some(s));
-            assert_eq!(devs[s].used_mem(), e.config().stage_memory(s));
+            assert_eq!(dev.used_mem(), e.config().stage_memory(s));
         }
         assert_eq!(e.stage_of_pid(ProcessId(999_999)), None);
     }

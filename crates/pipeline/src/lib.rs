@@ -31,8 +31,7 @@ mod runner;
 mod schedule;
 
 pub use bubble::{
-    BubbleKind, BubbleProfile, BubbleReport, BubbleStats, MeasuredBubble,
-    BUBBLE_REPORT_THRESHOLD,
+    BubbleKind, BubbleProfile, BubbleReport, BubbleStats, MeasuredBubble, BUBBLE_REPORT_THRESHOLD,
 };
 pub use config::{ModelSpec, PipelineConfig, StageId};
 pub use engine::{EngineAction, PipelineEngine};

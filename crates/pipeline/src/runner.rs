@@ -10,9 +10,7 @@ use crate::config::PipelineConfig;
 use crate::engine::{EngineAction, PipelineEngine};
 use crate::schedule::ScheduleKind;
 use freeride_gpu::{GpuDevice, GpuId, MpsPrioritized};
-use freeride_sim::{
-    EventId, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder, World,
-};
+use freeride_sim::{EventId, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder, World};
 
 /// Result of a standalone training run.
 #[derive(Debug)]
@@ -47,11 +45,7 @@ struct RunnerWorld {
 }
 
 impl RunnerWorld {
-    fn apply_actions(
-        &mut self,
-        actions: Vec<EngineAction>,
-        s: &mut Scheduler<'_, Ev>,
-    ) {
+    fn apply_actions(&mut self, actions: Vec<EngineAction>, s: &mut Scheduler<'_, Ev>) {
         for a in actions {
             match a {
                 EngineAction::ScheduleLaunch { stage, at } => {

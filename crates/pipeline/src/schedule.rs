@@ -182,8 +182,16 @@ impl Schedule {
                 .filter(|o| o.kind == OpKind::Backward)
                 .map(|o| o.micro_batch)
                 .collect();
-            assert_eq!(fps, (0..m).collect::<Vec<_>>(), "stage {s}: FP coverage/order");
-            assert_eq!(bps, (0..m).collect::<Vec<_>>(), "stage {s}: BP coverage/order");
+            assert_eq!(
+                fps,
+                (0..m).collect::<Vec<_>>(),
+                "stage {s}: FP coverage/order"
+            );
+            assert_eq!(
+                bps,
+                (0..m).collect::<Vec<_>>(),
+                "stage {s}: BP coverage/order"
+            );
             // FP(m) precedes BP(m) on the same stage.
             for mb in 0..m {
                 let f = plan
@@ -198,7 +206,9 @@ impl Schedule {
             }
             // Exactly one optimizer step, last.
             assert_eq!(
-                plan.iter().filter(|o| o.kind == OpKind::OptimizerStep).count(),
+                plan.iter()
+                    .filter(|o| o.kind == OpKind::OptimizerStep)
+                    .count(),
                 1,
                 "stage {s}: one optimizer step"
             );
@@ -310,7 +320,10 @@ mod tests {
             Schedule::build(ScheduleKind::OneFOneB, 4, 4),
             Schedule::one_f_one_b(4, 4)
         );
-        assert_eq!(Schedule::build(ScheduleKind::GPipe, 4, 4), Schedule::gpipe(4, 4));
+        assert_eq!(
+            Schedule::build(ScheduleKind::GPipe, 4, 4),
+            Schedule::gpipe(4, 4)
+        );
     }
 
     #[test]

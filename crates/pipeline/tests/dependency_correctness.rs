@@ -38,8 +38,8 @@ fn per_stage_busy_time_is_exact() {
     let c = cfg();
     let run = run_training(&c, ScheduleKind::OneFOneB);
     let epoch = run.epoch_times[0];
-    let busy_expected = (c.fp_op_time() + c.bp_op_time()) * c.micro_batches as u64
-        + c.optimizer_time;
+    let busy_expected =
+        (c.fp_op_time() + c.bp_op_time()) * c.micro_batches as u64 + c.optimizer_time;
     for st in 0..c.stages {
         let series = run.trace.series(&format!("stage{st}.sm")).unwrap();
         let t0 = freeride_sim::SimTime::ZERO + epoch; // epoch 1

@@ -18,7 +18,12 @@ pub trait World {
 
     /// Handles one event at virtual time `now`, scheduling follow-up events
     /// through `scheduler`.
-    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<'_, Self::Event>);
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        scheduler: &mut Scheduler<'_, Self::Event>,
+    );
 }
 
 /// Write-handle onto the event queue passed to [`World::handle`].

@@ -104,7 +104,9 @@ impl DetRng {
             return 1.0;
         }
         let g = self.next_gaussian() * sigma;
-        (1.0 + g).clamp(1.0 - 4.0 * sigma, 1.0 + 4.0 * sigma).max(0.01)
+        (1.0 + g)
+            .clamp(1.0 - 4.0 * sigma, 1.0 + 4.0 * sigma)
+            .max(0.01)
     }
 
     /// Fisher–Yates shuffle.

@@ -60,10 +60,7 @@ impl Series {
     /// The value in effect at `time` (step-function lookup), or `None`
     /// before the first sample.
     pub fn value_at(&self, time: SimTime) -> Option<f64> {
-        match self
-            .samples
-            .binary_search_by(|s| s.time.cmp(&time))
-        {
+        match self.samples.binary_search_by(|s| s.time.cmp(&time)) {
             Ok(i) => Some(self.samples[i].value),
             Err(0) => None,
             Err(i) => Some(self.samples[i - 1].value),
@@ -138,7 +135,10 @@ impl TraceRecorder {
     /// Records `value` for `series` at `time`, creating the series on first
     /// use.
     pub fn record(&mut self, series: &str, time: SimTime, value: f64) {
-        self.series.entry(series.to_owned()).or_default().record(time, value);
+        self.series
+            .entry(series.to_owned())
+            .or_default()
+            .record(time, value);
     }
 
     /// Looks up a series by name.

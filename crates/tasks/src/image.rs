@@ -96,7 +96,12 @@ impl Image {
                 for c in 0..3 {
                     let base = self.get(ox + x, oy + y, c) as f64;
                     let wm = mark.get(x, y, c) as f64;
-                    self.set(ox + x, oy + y, c, (base * (1.0 - alpha) + wm * alpha).round() as u8);
+                    self.set(
+                        ox + x,
+                        oy + y,
+                        c,
+                        (base * (1.0 - alpha) + wm * alpha).round() as u8,
+                    );
                 }
             }
         }

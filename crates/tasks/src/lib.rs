@@ -45,6 +45,4 @@ pub use graph::{CsrGraph, GraphSgd, PageRank};
 pub use image::{Image, ImagePipeline};
 pub use nn::{Matrix, NnTraining};
 pub use profiles::{WorkloadKind, WorkloadProfile, DEFAULT_BATCH};
-pub use workload::{
-    GraphSgdTask, ImageTask, NnTrainingTask, PageRankTask, SideTaskWorkload,
-};
+pub use workload::{GraphSgdTask, ImageTask, NnTrainingTask, PageRankTask, SideTaskWorkload};

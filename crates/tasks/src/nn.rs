@@ -235,8 +235,8 @@ impl NnTraining {
         let n = y.len() as f64;
         let mut loss = 0.0;
         let mut grad = Matrix::zeros(out.rows(), 1);
-        for i in 0..y.len() {
-            let err = out.get(i, 0) - y[i];
+        for (i, target) in y.iter().enumerate() {
+            let err = out.get(i, 0) - target;
             loss += err * err;
             grad.set(i, 0, 2.0 * err / n);
         }

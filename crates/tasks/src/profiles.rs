@@ -16,9 +16,7 @@
 //! The `step_server2`/`step_cpu` multipliers encode the relative speed of
 //! the paper's RTX 3080 (Server-II) and 8-core Xeon (Server-CPU).
 
-use crate::workload::{
-    GraphSgdTask, ImageTask, NnTrainingTask, PageRankTask, SideTaskWorkload,
-};
+use crate::workload::{GraphSgdTask, ImageTask, NnTrainingTask, PageRankTask, SideTaskWorkload};
 use freeride_gpu::MemBytes;
 use freeride_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -221,7 +219,10 @@ mod tests {
         for kind in WorkloadKind::ALL {
             let p = kind.profile();
             assert!(p.step_server1 > SimDuration::ZERO, "{kind:?}");
-            assert!(p.step_server2 >= p.step_server1, "{kind:?}: lower tier slower");
+            assert!(
+                p.step_server2 >= p.step_server1,
+                "{kind:?}: lower tier slower"
+            );
             assert!(p.step_cpu > p.step_server2, "{kind:?}: CPU slowest");
             assert!(p.sm_demand > 0.0 && p.sm_demand <= 1.0, "{kind:?}");
             assert!(p.mps_intensity > 0.0, "{kind:?}");
@@ -267,7 +268,9 @@ mod tests {
         assert!(WorkloadKind::Vgg19.profile_with_batch(64).fits_server2());
         assert!(!WorkloadKind::Vgg19.profile_with_batch(96).fits_server2());
         assert!(!WorkloadKind::Vgg19.profile_with_batch(128).fits_server2());
-        assert!(WorkloadKind::ResNet18.profile_with_batch(128).fits_server2());
+        assert!(WorkloadKind::ResNet18
+            .profile_with_batch(128)
+            .fits_server2());
     }
 
     #[test]
@@ -287,7 +290,14 @@ mod tests {
         let names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["ResNet18", "ResNet50", "VGG19", "PageRank", "Graph SGD", "Image"]
+            vec![
+                "ResNet18",
+                "ResNet50",
+                "VGG19",
+                "PageRank",
+                "Graph SGD",
+                "Image"
+            ]
         );
     }
 

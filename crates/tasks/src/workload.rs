@@ -316,6 +316,9 @@ mod tests {
             t.run_step();
         }
         let last = t.run_step();
-        assert!(last < first, "training should make progress: {first} → {last}");
+        assert!(
+            last < first,
+            "training should make progress: {first} → {last}"
+        );
     }
 }

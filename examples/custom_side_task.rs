@@ -10,8 +10,7 @@
 //! Run: `cargo run --release --example custom_side_task`
 
 use freeride::core::{
-    FreeRideConfig, InterfaceKind, SideTask, SideTaskState, TaskId, Worker,
-    WorkerEffect,
+    FreeRideConfig, InterfaceKind, SideTask, SideTaskState, TaskId, Worker, WorkerEffect,
 };
 use freeride::gpu::{GpuDevice, GpuId, MemBytes, MpsPrioritized};
 use freeride::sim::{DetRng, SimDuration, SimTime};
@@ -117,7 +116,10 @@ fn main() {
         _ => unreachable!("init schedules its completion"),
     };
     worker.init_done(init_done_at, TaskId(0));
-    println!("init    -> PAUSED at {init_done_at} holding {}", MemBytes::from_gib(1));
+    println!(
+        "init    -> PAUSED at {init_done_at} holding {}",
+        MemBytes::from_gib(1)
+    );
 
     // A 400ms bubble arrives: StartSideTask with its predicted end.
     let bubble_start = t(1000);
@@ -126,9 +128,8 @@ fn main() {
 
     // Let the device run the step kernels until the program-directed check
     // stops before the bubble's end.
-    let mut now = bubble_start;
     while let Some(next) = device.next_completion_time() {
-        now = next;
+        let mut now = next;
         device.advance_through(now);
         let fx = worker.on_step_complete(now, TaskId(0), &mut device);
         if let Some(WorkerEffect::ScheduleStepLaunch { at, .. }) = fx.first() {

@@ -40,7 +40,11 @@ fn main() {
 
     println!();
     println!("placement chosen by the manager (Algorithm 1):");
-    let run = run_colocation(&pipeline, &FreeRideConfig::iterative(), &Submission::mixed());
+    let run = run_colocation(
+        &pipeline,
+        &FreeRideConfig::iterative(),
+        &Submission::mixed(),
+    );
     for t in &run.tasks {
         println!(
             "  {:<10} -> stage {} (bubble memory {}), {} steps, ended {:?}",

@@ -34,7 +34,10 @@ fn main() {
         run.tasks.len()
     );
 
-    assert!(report.time_increase < 0.02, "FreeRide overhead should be ~1%");
+    assert!(
+        report.time_increase < 0.02,
+        "FreeRide overhead should be ~1%"
+    );
     assert!(report.cost_savings > 0.0, "harvesting bubbles should pay");
     println!();
     println!("bubbles harvested with ~1% overhead — free rides taken.");

@@ -12,9 +12,8 @@ fn main() {
     let baseline = run_baseline(&pipeline);
 
     println!("--- execution-time limit (framework-enforced) ---");
-    let rogue = vec![
-        Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause),
-    ];
+    let rogue =
+        vec![Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause)];
     let run = run_colocation(&pipeline, &FreeRideConfig::iterative(), &rogue);
     let t = &run.tasks[0];
     println!(
@@ -29,11 +28,12 @@ fn main() {
 
     println!();
     println!("--- GPU memory limit (MPS cap) ---");
-    let leaky = vec![Submission::new(WorkloadKind::ResNet18).with_misbehavior(
-        Misbehavior::LeakMemory {
-            per_step: MemBytes::from_gib(1),
-        },
-    )];
+    let leaky =
+        vec![
+            Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::LeakMemory {
+                per_step: MemBytes::from_gib(1),
+            }),
+        ];
     let run = run_colocation(&pipeline, &FreeRideConfig::iterative(), &leaky);
     let t = &run.tasks[0];
     println!(
@@ -54,11 +54,8 @@ fn main() {
 
     println!();
     println!("--- crash containment (Docker-style isolation) ---");
-    let crashy = vec![
-        Submission::new(WorkloadKind::GraphSgd).with_misbehavior(Misbehavior::CrashAfter {
-            steps: 10,
-        }),
-    ];
+    let crashy = vec![Submission::new(WorkloadKind::GraphSgd)
+        .with_misbehavior(Misbehavior::CrashAfter { steps: 10 })];
     let run = run_colocation(&pipeline, &FreeRideConfig::iterative(), &crashy);
     println!(
         "a Graph SGD task crashed after 10 steps: {:?}; training {:+.2}%",

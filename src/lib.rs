@@ -55,14 +55,14 @@ pub use freeride_tasks as tasks;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use freeride_core::{
-        evaluate, run_baseline, run_colocation, time_increase, ColocationMode,
-        ColocationRun, CostReport, FreeRideConfig, InterfaceKind, Misbehavior,
-        SideTaskManager, SideTaskState, StopReason, Submission, TaskId, Transition,
+        evaluate, run_baseline, run_colocation, time_increase, ColocationMode, ColocationRun,
+        CostReport, FreeRideConfig, InterfaceKind, Misbehavior, SideTaskManager, SideTaskState,
+        StopReason, Submission, TaskId, Transition,
     };
     pub use freeride_gpu::{GpuDevice, GpuId, MemBytes, Priority};
     pub use freeride_pipeline::{
-        run_training, BubbleKind, BubbleProfile, BubbleReport, ModelSpec,
-        PipelineConfig, ScheduleKind,
+        run_training, BubbleKind, BubbleProfile, BubbleReport, ModelSpec, PipelineConfig,
+        ScheduleKind,
     };
     pub use freeride_sim::{DetRng, SimDuration, SimTime, Simulation, World};
     pub use freeride_tasks::{ServerSpec, SideTaskWorkload, WorkloadKind, WorkloadProfile};

@@ -26,7 +26,11 @@ fn bubble_rate_declines_with_model_size() {
         ModelSpec::nanogpt_3_6b(),
         ModelSpec::nanogpt_6b(),
     ] {
-        rates.push(run_training(&cfg(m), ScheduleKind::OneFOneB).bubble_stats.bubble_rate);
+        rates.push(
+            run_training(&cfg(m), ScheduleKind::OneFOneB)
+                .bubble_stats
+                .bubble_rate,
+        );
     }
     assert!(rates[0] > rates[2], "paper: 42.4% -> 40.4%: {rates:?}");
     for r in rates {

@@ -32,7 +32,10 @@ fn different_seeds_only_jitter_the_margins() {
     let sa: u64 = a.tasks.iter().map(|t| t.steps).sum();
     let sb: u64 = b.tasks.iter().map(|t| t.steps).sum();
     let diff = sa.abs_diff(sb) as f64 / sa.max(sb) as f64;
-    assert!(diff < 0.05, "seeds changed throughput by {diff}: {sa} vs {sb}");
+    assert!(
+        diff < 0.05,
+        "seeds changed throughput by {diff}: {sa} vs {sb}"
+    );
     // Training time is physics, not randomness: within 0.1%.
     let dt = (a.total_time.as_secs_f64() - b.total_time.as_secs_f64()).abs()
         / a.total_time.as_secs_f64();

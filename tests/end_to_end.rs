@@ -83,9 +83,14 @@ fn baselines_are_much_worse_than_freeride() {
         let i_fr = time_increase(baseline, fr.total_time);
         let i_mps = time_increase(baseline, mps.total_time);
         let i_naive = time_increase(baseline, naive.total_time);
-        assert!(i_mps > 4.0 * i_fr, "{kind:?}: MPS {i_mps} vs FreeRide {i_fr}");
-        assert!(i_naive > i_mps || kind == WorkloadKind::GraphSgd,
-            "{kind:?}: naive {i_naive} must exceed MPS {i_mps} (except the SGD anomaly)");
+        assert!(
+            i_mps > 4.0 * i_fr,
+            "{kind:?}: MPS {i_mps} vs FreeRide {i_fr}"
+        );
+        assert!(
+            i_naive > i_mps || kind == WorkloadKind::GraphSgd,
+            "{kind:?}: naive {i_naive} must exceed MPS {i_mps} (except the SGD anomaly)"
+        );
     }
 }
 
@@ -101,9 +106,16 @@ fn graph_sgd_mps_anomaly_reproduces() {
         &Submission::per_worker(WorkloadKind::GraphSgd, 4),
     );
     let i = time_increase(baseline, run.total_time);
-    assert!(i > 1.8, "SGD under MPS must be catastrophic (~231%), got {i}");
+    assert!(
+        i > 1.8,
+        "SGD under MPS must be catastrophic (~231%), got {i}"
+    );
     let report = evaluate(baseline, run.total_time, &run.work());
-    assert!(report.cost_savings < -0.5, "and lose money: {}", report.cost_savings);
+    assert!(
+        report.cost_savings < -0.5,
+        "and lose money: {}",
+        report.cost_savings
+    );
 }
 
 #[test]
@@ -114,7 +126,11 @@ fn mixed_workload_beats_single_workload_average() {
     let baseline = run_baseline(&p);
     let run = run_colocation(&p, &FreeRideConfig::iterative(), &Submission::mixed());
     let report = evaluate(baseline, run.total_time, &run.work());
-    assert!(report.cost_savings > 0.06, "mixed savings {}", report.cost_savings);
+    assert!(
+        report.cost_savings > 0.06,
+        "mixed savings {}",
+        report.cost_savings
+    );
     assert!(report.time_increase < 0.02);
     // All four tasks were admitted (no rejection).
     assert!(run.rejected.is_empty());
@@ -150,11 +166,7 @@ fn vgg_and_image_are_confined_to_late_stages() {
 #[test]
 fn all_tasks_stop_cleanly_at_training_end() {
     let p = pipeline(4);
-    let run = run_colocation(
-        &p,
-        &FreeRideConfig::iterative(),
-        &Submission::mixed(),
-    );
+    let run = run_colocation(&p, &FreeRideConfig::iterative(), &Submission::mixed());
     for t in &run.tasks {
         assert_eq!(t.final_state, SideTaskState::Stopped, "{:?}", t.kind);
         assert_eq!(t.stop_reason, StopReason::Finished, "{:?}", t.kind);
@@ -173,7 +185,10 @@ fn side_tasks_make_real_progress() {
         &Submission::per_worker(WorkloadKind::PageRank, 4),
     );
     let total: u64 = run.tasks.iter().map(|t| t.steps).sum();
-    assert!(total > 100, "PageRank should complete many iterations: {total}");
+    assert!(
+        total > 100,
+        "PageRank should complete many iterations: {total}"
+    );
 }
 
 #[test]

@@ -13,9 +13,8 @@ fn pipeline(epochs: usize) -> PipelineConfig {
 fn rogue_task_is_grace_killed_and_training_survives() {
     let p = pipeline(6);
     let baseline = run_baseline(&p);
-    let rogue = vec![
-        Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause),
-    ];
+    let rogue =
+        vec![Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause)];
     let run = run_colocation(&p, &FreeRideConfig::iterative(), &rogue);
     assert_eq!(run.tasks[0].stop_reason, StopReason::KilledGrace);
     assert_eq!(run.tasks[0].final_state, SideTaskState::Stopped);
@@ -34,11 +33,11 @@ fn memory_leak_is_oom_killed_without_touching_training_memory() {
     let mut leaky: Vec<Submission> = (0..3)
         .map(|_| Submission::new(WorkloadKind::PageRank))
         .collect();
-    leaky.push(Submission::new(WorkloadKind::ResNet18).with_misbehavior(
-        Misbehavior::LeakMemory {
+    leaky.push(
+        Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::LeakMemory {
             per_step: MemBytes::from_gib(1),
-        },
-    ));
+        }),
+    );
     let run = run_colocation(&p, &FreeRideConfig::iterative(), &leaky);
     let task = run
         .tasks
@@ -63,11 +62,8 @@ fn memory_leak_is_oom_killed_without_touching_training_memory() {
 fn crashing_task_is_contained() {
     let p = pipeline(5);
     let baseline = run_baseline(&p);
-    let crashy = vec![
-        Submission::new(WorkloadKind::PageRank).with_misbehavior(Misbehavior::CrashAfter {
-            steps: 20,
-        }),
-    ];
+    let crashy = vec![Submission::new(WorkloadKind::PageRank)
+        .with_misbehavior(Misbehavior::CrashAfter { steps: 20 })];
     let run = run_colocation(&p, &FreeRideConfig::iterative(), &crashy);
     assert_eq!(run.tasks[0].stop_reason, StopReason::Crashed);
     assert!(run.tasks[0].steps >= 20);
@@ -81,9 +77,8 @@ fn queued_task_takes_over_after_a_kill() {
     // manager promotes the second (Algorithm 2, lines 11–15).
     let p = pipeline(8);
     let subs = vec![
-        Submission::new(WorkloadKind::GraphSgd).with_misbehavior(Misbehavior::CrashAfter {
-            steps: 5,
-        }),
+        Submission::new(WorkloadKind::GraphSgd)
+            .with_misbehavior(Misbehavior::CrashAfter { steps: 5 }),
         Submission::new(WorkloadKind::GraphSgd),
         Submission::new(WorkloadKind::GraphSgd),
         Submission::new(WorkloadKind::GraphSgd),
@@ -143,9 +138,8 @@ fn misbehaving_neighbour_does_not_affect_other_workers() {
 fn grace_period_scales_rogue_damage() {
     let p = pipeline(6);
     let baseline = run_baseline(&p);
-    let rogue = vec![
-        Submission::new(WorkloadKind::GraphSgd).with_misbehavior(Misbehavior::IgnorePause),
-    ];
+    let rogue =
+        vec![Submission::new(WorkloadKind::GraphSgd).with_misbehavior(Misbehavior::IgnorePause)];
     let mut damages = Vec::new();
     for grace_ms in [100u64, 2000] {
         let mut cfg = FreeRideConfig::iterative();

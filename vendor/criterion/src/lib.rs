@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of `criterion` used by this
+//! workspace: `Criterion::bench_function`, benchmark groups with
+//! `sample_size`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Bench targets must set `harness = false` (they do); the macros expand
+//! to a plain `main`. Measurement is a simple mean over a bounded number
+//! of timed iterations — adequate for spotting order-of-magnitude
+//! regressions, without the real crate's statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            time_budget: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Timing context passed to the closure of a benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    sample_size: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < self.sample_size as u64 {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() > self.time_budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "us")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!(
+        "{name:<48} time: {value:>10.3} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            time_budget: self.time_budget,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark iteration target for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `name` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            time_budget: self.criterion.time_budget,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            time_budget: Duration::from_millis(50),
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 2, "warm-up plus at least one timed iter");
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0u32;
+        group.bench_function("inner", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!((3..=4).contains(&runs), "{runs}");
+    }
+}

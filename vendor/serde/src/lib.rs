@@ -1,0 +1,31 @@
+//! Offline stand-in for the `serde` trait surface used by this workspace.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to
+//! keep them wire-ready, but nothing in-tree serializes yet (traces are
+//! written through explicit formatters). Since the build environment has
+//! no crates.io access, this crate declares the two traits as markers and
+//! the companion `serde_derive` emits trivial impls. Swapping in the real
+//! `serde` later is a manifest-only change; every `#[derive(Serialize,
+//! Deserialize)]` in the tree is already upstream-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A type that can be serialized.
+///
+/// Marker-only in this stand-in; see the crate docs.
+pub trait Serialize {}
+
+/// A type that can be deserialized from borrowed data with lifetime `'de`.
+///
+/// Marker-only in this stand-in; see the crate docs.
+pub trait Deserialize<'de>: Sized {}
+
+/// A type that can be deserialized without borrowing.
+///
+/// Mirrors `serde::de::DeserializeOwned` for bound compatibility.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,165 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits *marker* impls (`impl Serialize for T {}`) matching the marker
+//! traits in the sibling `serde` stand-in. No `syn`/`quote` dependency:
+//! the item header (visibility, name, generics) is parsed directly from
+//! the token stream, which is all a marker impl needs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", "")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'de>", "'de")
+}
+
+/// Parsed `<...>` generics of the deriving item.
+struct Generics {
+    /// Parameter list with bounds, e.g. `'a, T: Clone`.
+    params: String,
+    /// Argument list without bounds, e.g. `'a, T`.
+    args: String,
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_lifetime: &str) -> TokenStream {
+    let (name, generics) = parse_header(input);
+    let mut params: Vec<String> = Vec::new();
+    if !extra_lifetime.is_empty() {
+        params.push(extra_lifetime.to_string());
+    }
+    if !generics.params.is_empty() {
+        params.push(generics.params.clone());
+    }
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if generics.args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.args)
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}"
+    )
+    .parse()
+    .expect("marker impl must parse")
+}
+
+/// Walks the item tokens up to the type name, returning the name and its
+/// generic parameters (empty for non-generic items).
+fn parse_header(input: TokenStream) -> (String, Generics) {
+    let mut iter = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+                // `pub`, `pub(crate)`, etc.: skip; the following group (if
+                // any) is consumed by the group arm below.
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                // Visibility restriction group from `pub(...)`.
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive input must be a struct, enum, or union");
+
+    // Optional generics directly after the name.
+    let mut generics = Generics {
+        params: String::new(),
+        args: String::new(),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let _ = iter.next();
+        let mut depth = 1usize;
+        let mut tokens: Vec<TokenTree> = Vec::new();
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            tokens.push(tt);
+        }
+        generics = split_generics(&tokens);
+    }
+    (name, generics)
+}
+
+/// Splits raw generic tokens into a bounded parameter list and a bare
+/// argument list (bounds and defaults stripped).
+fn split_generics(tokens: &[TokenTree]) -> Generics {
+    let mut segments: Vec<Vec<&TokenTree>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    segments.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().expect("non-empty").push(tt);
+    }
+
+    let mut params = Vec::new();
+    let mut args = Vec::new();
+    for seg in segments.iter().filter(|s| !s.is_empty()) {
+        let rendered: String = seg
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Parameter list keeps bounds but drops `= default`.
+        let bounded = rendered.split('=').next().unwrap_or("").trim().to_string();
+        params.push(bounded);
+        // Argument list: lifetime (`' a`) or the first identifier.
+        let arg = match seg.first() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match seg.get(1) {
+                Some(TokenTree::Ident(id)) => format!("'{id}"),
+                _ => String::new(),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "const" => match seg.get(1) {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                _ => String::new(),
+            },
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => String::new(),
+        };
+        args.push(arg);
+    }
+    Generics {
+        params: params.join(", "),
+        args: args.join(", "),
+    }
+}

@@ -148,9 +148,10 @@ fn main() {
         let mut mgr = SideTaskManager::new(mems).with_policy(policy);
         let mut placed = Vec::new();
         for (i, sub) in Submission::mixed().iter().enumerate() {
-            match mgr.submit(TaskId(i as u64), sub.kind.profile().gpu_mem) {
-                Ok((w, _)) => placed.push(format!("{}→w{}", sub.kind.name(), w)),
-                Err(_) => placed.push(format!("{}→rejected", sub.kind.name())),
+            let profile = sub.profile().expect("built-in profiles are valid");
+            match mgr.submit(TaskId(i as u64), profile.gpu_mem) {
+                Ok((w, _)) => placed.push(format!("{}→w{}", sub.tag().name(), w)),
+                Err(_) => placed.push(format!("{}→rejected", sub.tag().name())),
             }
         }
         println!("{:<18} {}", name, placed.join("  "));

@@ -138,6 +138,12 @@ impl FreeRideConfig {
         self
     }
 
+    /// Overrides the co-location mode (builder style).
+    pub fn with_mode(mut self, mode: ColocationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Validates tunables.
     ///
     /// # Panics
@@ -206,5 +212,15 @@ mod tests {
     #[test]
     fn with_seed_overrides() {
         assert_eq!(FreeRideConfig::iterative().with_seed(9).seed, 9);
+    }
+
+    #[test]
+    fn with_mode_overrides() {
+        assert_eq!(
+            FreeRideConfig::iterative()
+                .with_mode(ColocationMode::Mps)
+                .mode,
+            ColocationMode::Mps
+        );
     }
 }

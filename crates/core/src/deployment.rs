@@ -1,0 +1,770 @@
+//! The `Deployment` session API: the service-style entry point to the
+//! FreeRide middleware.
+//!
+//! The paper's middleware is an *online* service — side tasks arrive while
+//! pipeline training runs, get placed by Algorithm 1, pause and resume
+//! across bubbles, and leave — yet the original entry point here was a
+//! one-shot batch call. A [`Deployment`] restores the service shape:
+//!
+//! * [`Deployment::builder`] configures mode, interface, seed, and
+//!   schedule fluently;
+//! * [`Deployment::submit`] accepts a [`Submission`] *at any simulated
+//!   time* (an arrival-time event feeds [`SideTaskManager::submit`]
+//!   mid-run), returning a [`TaskHandle`] for per-task outcome lookup or a
+//!   typed [`SubmitError`] carrying the numbers behind a rejection;
+//! * submissions name either a built-in [`WorkloadKind`] or a **custom
+//!   workload** via [`Submission::custom`], backed by the
+//!   [`WorkloadFactory`] trait — the paper's Fig. 6 porting exercise goes
+//!   through the same front door as the six evaluation workloads;
+//! * [`Deployment::run`] executes the whole co-location and returns a
+//!   [`DeploymentReport`] that subsumes the legacy `ColocationRun` and
+//!   [`CostReport`].
+//!
+//! The legacy batch functions `run_colocation`/`run_baseline` remain as
+//! thin wrappers so the paper-experiment binaries reproduce identical
+//! numbers.
+//!
+//! [`SideTaskManager::submit`]: crate::manager::SideTaskManager::submit
+//! [`WorkloadKind`]: freeride_tasks::WorkloadKind
+
+use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
+use crate::manager::SubmitError;
+use crate::metrics::{evaluate, BubbleBreakdown, CostReport, TaskWork};
+use crate::orchestrator::{execute, ColocationRun, TaskSummary};
+use crate::state::SideTaskState;
+use crate::task::{Misbehavior, StopReason, TaskId};
+use freeride_gpu::MemBytes;
+use freeride_pipeline::{run_training, PipelineConfig, ScheduleKind};
+use freeride_sim::{SimDuration, SimTime, TraceRecorder};
+use freeride_tasks::{
+    SideTaskWorkload, WorkloadFactory, WorkloadKind, WorkloadProfile, WorkloadTag, DEFAULT_BATCH,
+};
+use std::sync::{Arc, OnceLock};
+
+/// Default per-step duration assumed for custom workloads until the
+/// profiler (or [`Submission::with_step_time`]) says otherwise.
+const CUSTOM_DEFAULT_STEP: SimDuration = SimDuration::from_millis(10);
+
+/// A side task to submit to a deployment: a workload source (built-in
+/// kind or custom factory) plus batch size, failure injection, and an
+/// arrival time for online submissions.
+#[derive(Clone)]
+pub struct Submission {
+    factory: Arc<dyn WorkloadFactory>,
+    tag: WorkloadTag,
+    batch: usize,
+    misbehavior: Misbehavior,
+    arrival: SimTime,
+    profile_override: Option<WorkloadProfile>,
+    step_override: Option<SimDuration>,
+}
+
+impl core::fmt::Debug for Submission {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Submission")
+            .field("tag", &self.tag)
+            .field("batch", &self.batch)
+            .field("misbehavior", &self.misbehavior)
+            .field("arrival", &self.arrival)
+            .finish()
+    }
+}
+
+impl Submission {
+    /// A well-behaved submission of a built-in workload at the default
+    /// batch size, arriving up front (t = 0).
+    pub fn new(kind: WorkloadKind) -> Self {
+        Submission {
+            factory: Arc::new(kind),
+            tag: WorkloadTag::Kind(kind),
+            batch: DEFAULT_BATCH,
+            misbehavior: Misbehavior::None,
+            arrival: SimTime::ZERO,
+            profile_override: None,
+            step_override: None,
+        }
+    }
+
+    /// A submission of a **custom workload** — the paper's Fig. 6 porting
+    /// exercise as a first-class citizen. `name` identifies the workload
+    /// in reports, `gpu_mem` is the footprint Algorithm 1 places against
+    /// (and the MPS cap enforces), and `build` instantiates the step-wise
+    /// computation for a given seed.
+    ///
+    /// The profile defaults to a 10 ms step with mid-band interference
+    /// characteristics; refine it with [`Submission::with_step_time`] or
+    /// [`Submission::with_profile`].
+    pub fn custom<F>(name: impl Into<String>, gpu_mem: MemBytes, build: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn SideTaskWorkload> + Send + Sync + 'static,
+    {
+        let tag = WorkloadTag::Custom(name.into());
+        Submission {
+            factory: Arc::new(ClosureFactory {
+                tag: tag.clone(),
+                profile: WorkloadProfile::custom(gpu_mem, CUSTOM_DEFAULT_STEP),
+                build,
+            }),
+            tag,
+            batch: DEFAULT_BATCH,
+            misbehavior: Misbehavior::None,
+            arrival: SimTime::ZERO,
+            profile_override: None,
+            step_override: None,
+        }
+    }
+
+    /// A submission backed by an arbitrary [`WorkloadFactory`]
+    /// implementation (the fully general form of [`Submission::custom`]).
+    pub fn from_factory(factory: Arc<dyn WorkloadFactory>) -> Self {
+        let tag = factory.tag();
+        Submission {
+            factory,
+            tag,
+            batch: DEFAULT_BATCH,
+            misbehavior: Misbehavior::None,
+            arrival: SimTime::ZERO,
+            profile_override: None,
+            step_override: None,
+        }
+    }
+
+    /// Overrides the batch size (builder style; model-training workloads
+    /// only — others ignore it). A zero batch is reported as
+    /// [`SubmitError::InvalidBatch`] at submission time. Composes with
+    /// [`Submission::with_step_time`] and [`Submission::with_profile`] in
+    /// any order.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Installs failure injection (builder style).
+    pub fn with_misbehavior(mut self, m: Misbehavior) -> Self {
+        self.misbehavior = m;
+        self
+    }
+
+    /// Schedules the submission to arrive `arrival` into the run instead
+    /// of up front — the online path: the manager places it mid-training,
+    /// and it starts harvesting the bubbles that remain.
+    pub fn at(mut self, arrival: SimTime) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Replaces the entire profile (full calibration control).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero step duration or footprint — both would break the
+    /// simulated stepping machinery.
+    pub fn with_profile(mut self, profile: WorkloadProfile) -> Self {
+        assert!(
+            !profile.step_server1.is_zero(),
+            "per-step duration must be positive"
+        );
+        assert!(!profile.gpu_mem.is_zero(), "GPU footprint must be positive");
+        self.profile_override = Some(profile);
+        self
+    }
+
+    /// Overrides the per-step duration, rescaling the Server-II and CPU
+    /// step times by the [`WorkloadProfile::custom`] defaults. Applied on
+    /// top of the factory profile (or a [`Submission::with_profile`]
+    /// override) whenever the effective profile is computed, so it
+    /// composes with [`Submission::with_batch`] in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero step duration.
+    pub fn with_step_time(mut self, step: SimDuration) -> Self {
+        assert!(!step.is_zero(), "per-step duration must be positive");
+        self.step_override = Some(step);
+        self
+    }
+
+    /// The paper's §6.2 setup: the same workload submitted once per stage.
+    pub fn per_worker(kind: WorkloadKind, stages: usize) -> Vec<Submission> {
+        (0..stages).map(|_| Submission::new(kind)).collect()
+    }
+
+    /// The paper's mixed workload: PageRank, ResNet18, Image, VGG19 — one
+    /// per worker of stages 0–3.
+    pub fn mixed() -> Vec<Submission> {
+        vec![
+            Submission::new(WorkloadKind::PageRank),
+            Submission::new(WorkloadKind::ResNet18),
+            Submission::new(WorkloadKind::ImageProc),
+            Submission::new(WorkloadKind::Vgg19),
+        ]
+    }
+
+    /// Workload identity carried into reports.
+    pub fn tag(&self) -> &WorkloadTag {
+        &self.tag
+    }
+
+    /// Configured batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Configured failure injection.
+    pub fn misbehavior(&self) -> Misbehavior {
+        self.misbehavior
+    }
+
+    /// Configured arrival time.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// The effective profile this submission would run under: the factory
+    /// profile at the configured batch (or a [`Submission::with_profile`]
+    /// override), with any [`Submission::with_step_time`] override applied
+    /// on top.
+    pub fn profile(&self) -> Result<WorkloadProfile, SubmitError> {
+        if self.batch == 0 {
+            return Err(SubmitError::InvalidBatch { batch: 0 });
+        }
+        let mut profile = self
+            .profile_override
+            .unwrap_or_else(|| self.factory.profile(self.batch));
+        if let Some(step) = self.step_override {
+            // Delegate to the custom-profile constructor so the platform
+            // scale factors live in exactly one place.
+            let scaled = WorkloadProfile::custom(profile.gpu_mem, step);
+            profile.step_server1 = scaled.step_server1;
+            profile.step_server2 = scaled.step_server2;
+            profile.step_cpu = scaled.step_cpu;
+        }
+        Ok(profile)
+    }
+
+    /// Instantiates the workload (deterministic in `seed`).
+    pub(crate) fn build_workload(&self, seed: u64) -> Box<dyn SideTaskWorkload> {
+        self.factory.build(seed)
+    }
+}
+
+/// Adapter wrapping a build closure plus a fixed profile into a
+/// [`WorkloadFactory`].
+struct ClosureFactory<F> {
+    tag: WorkloadTag,
+    profile: WorkloadProfile,
+    build: F,
+}
+
+impl<F> WorkloadFactory for ClosureFactory<F>
+where
+    F: Fn(u64) -> Box<dyn SideTaskWorkload> + Send + Sync,
+{
+    fn tag(&self) -> WorkloadTag {
+        self.tag.clone()
+    }
+
+    fn profile(&self, _batch: usize) -> WorkloadProfile {
+        self.profile
+    }
+
+    fn build(&self, seed: u64) -> Box<dyn SideTaskWorkload> {
+        (self.build)(seed)
+    }
+}
+
+/// A submission the deployment could not serve, kept whole (workload,
+/// batch, misbehavior, arrival) together with the typed reason.
+#[derive(Debug, Clone)]
+pub struct RejectedSubmission {
+    /// The submission as handed to [`Deployment::submit`].
+    pub submission: Submission,
+    /// Why it was rejected.
+    pub error: SubmitError,
+}
+
+/// Handle to a submitted task: resolves to the task's outcome after
+/// [`Deployment::run`] returns.
+///
+/// Before the run (or if the task was ultimately rejected mid-run — see
+/// [`DeploymentReport::rejected`]) every lookup returns `None`.
+#[derive(Debug, Clone)]
+pub struct TaskHandle {
+    id: TaskId,
+    tag: WorkloadTag,
+    outcome: Arc<OnceLock<TaskSummary>>,
+}
+
+impl TaskHandle {
+    /// The id assigned at submission.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Workload identity.
+    pub fn tag(&self) -> &WorkloadTag {
+        &self.tag
+    }
+
+    /// The full outcome, once the run finished.
+    pub fn outcome(&self) -> Option<&TaskSummary> {
+        self.outcome.get()
+    }
+
+    /// Final life-cycle state.
+    pub fn state(&self) -> Option<SideTaskState> {
+        self.outcome().map(|t| t.final_state)
+    }
+
+    /// Steps completed during bubbles.
+    pub fn steps(&self) -> Option<u64> {
+        self.outcome().map(|t| t.steps)
+    }
+
+    /// Why the task stopped.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.outcome().map(|t| t.stop_reason)
+    }
+
+    /// The worker (stage) Algorithm 1 placed the task on.
+    pub fn worker(&self) -> Option<usize> {
+        self.outcome().map(|t| t.worker)
+    }
+
+    /// The workload's last progress metric (loss, delta, estimate…).
+    pub fn last_value(&self) -> Option<f64> {
+        self.outcome().and_then(|t| t.last_value)
+    }
+}
+
+/// An accepted submission waiting for the run.
+pub(crate) struct AcceptedSubmission {
+    pub(crate) id: TaskId,
+    pub(crate) submission: Submission,
+    pub(crate) profile: WorkloadProfile,
+    outcome: Arc<OnceLock<TaskSummary>>,
+}
+
+/// Fluent configuration for a [`Deployment`].
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder {
+    pipeline: PipelineConfig,
+    cfg: FreeRideConfig,
+    cost_report: bool,
+}
+
+impl DeploymentBuilder {
+    fn new(pipeline: PipelineConfig) -> Self {
+        DeploymentBuilder {
+            pipeline,
+            cfg: FreeRideConfig::iterative(),
+            cost_report: true,
+        }
+    }
+
+    /// Replaces the whole middleware configuration.
+    pub fn config(mut self, cfg: FreeRideConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the co-location mode (FreeRide, MPS, naive).
+    pub fn mode(mut self, mode: ColocationMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Runs FreeRide with the given programming interface.
+    pub fn interface(mut self, interface: InterfaceKind) -> Self {
+        self.cfg.mode = ColocationMode::FreeRide(interface);
+        self
+    }
+
+    /// Sets the root seed for all randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the pipeline schedule to train with.
+    pub fn schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
+    /// Applies an arbitrary tweak to the configuration (grace period, RPC
+    /// latency, …).
+    pub fn tune(mut self, f: impl FnOnce(&mut FreeRideConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Whether [`Deployment::run`] also trains the no-side-task baseline
+    /// and fills [`DeploymentReport::cost`] (default: `true`). Disable to
+    /// skip the extra baseline simulation.
+    pub fn cost_report(mut self, enabled: bool) -> Self {
+        self.cost_report = enabled;
+        self
+    }
+
+    /// Finishes configuration.
+    pub fn build(self) -> Deployment {
+        Deployment {
+            pipeline: self.pipeline,
+            cfg: self.cfg,
+            cost_report: self.cost_report,
+            next_id: 0,
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+        }
+    }
+}
+
+/// A configured FreeRide deployment accepting side-task submissions.
+///
+/// See the crate docs for the full story; the short version:
+///
+/// ```
+/// use freeride_core::{Deployment, Submission};
+/// use freeride_pipeline::{ModelSpec, PipelineConfig};
+/// use freeride_tasks::WorkloadKind;
+///
+/// let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+///     .with_epochs(3);
+/// let mut deployment = Deployment::builder(pipeline).seed(7).build();
+/// let handle = deployment
+///     .submit(Submission::new(WorkloadKind::PageRank))
+///     .expect("fits bubble memory");
+/// let report = deployment.run();
+/// assert!(handle.steps().unwrap() > 0);
+/// assert!(report.cost.unwrap().cost_savings > 0.0);
+/// ```
+pub struct Deployment {
+    pipeline: PipelineConfig,
+    cfg: FreeRideConfig,
+    cost_report: bool,
+    next_id: u64,
+    accepted: Vec<AcceptedSubmission>,
+    rejected: Vec<RejectedSubmission>,
+}
+
+impl Deployment {
+    /// Starts configuring a deployment for the given pipeline-training
+    /// job.
+    pub fn builder(pipeline: PipelineConfig) -> DeploymentBuilder {
+        DeploymentBuilder::new(pipeline)
+    }
+
+    /// The middleware configuration this deployment runs under.
+    pub fn config(&self) -> &FreeRideConfig {
+        &self.cfg
+    }
+
+    /// Submits a side task. Admission is checked immediately — the bubble
+    /// memory bound of Algorithm 1 does not change over time — so a
+    /// rejection comes back as a typed error with the numbers that caused
+    /// it; placement itself happens in-run at the submission's arrival
+    /// time. Rejected submissions are also kept (whole) in the final
+    /// report.
+    pub fn submit(&mut self, submission: Submission) -> Result<TaskHandle, SubmitError> {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        let admitted = submission.profile().and_then(|profile| {
+            let best = (0..self.pipeline.stages)
+                .map(|st| self.pipeline.stage_free_memory(st))
+                .max()
+                .unwrap_or(MemBytes::ZERO);
+            if profile.gpu_mem >= best {
+                Err(SubmitError::InsufficientMemory {
+                    needed: profile.gpu_mem,
+                    best_worker_free: best,
+                })
+            } else {
+                Ok(profile)
+            }
+        });
+        match admitted {
+            Ok(profile) => {
+                let outcome = Arc::new(OnceLock::new());
+                let handle = TaskHandle {
+                    id,
+                    tag: submission.tag().clone(),
+                    outcome: Arc::clone(&outcome),
+                };
+                self.accepted.push(AcceptedSubmission {
+                    id,
+                    submission,
+                    profile,
+                    outcome,
+                });
+                Ok(handle)
+            }
+            Err(error) => {
+                self.rejected.push(RejectedSubmission { submission, error });
+                Err(error)
+            }
+        }
+    }
+
+    /// Runs pipeline training co-located with every accepted submission to
+    /// completion and reports per-task outcomes, rejections, bubble
+    /// accounting, traces, and (unless disabled) the paper's cost metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`FreeRideConfig::validate`].
+    pub fn run(mut self) -> DeploymentReport {
+        self.cfg.validate();
+        let outcome = execute(&self.pipeline, &self.cfg, &self.accepted);
+
+        for acc in &self.accepted {
+            if let Some(summary) = outcome.tasks.iter().find(|t| t.id == acc.id) {
+                let _ = acc.outcome.set(summary.clone());
+            }
+        }
+        for (id, error) in outcome.late_rejected {
+            if let Some(acc) = self.accepted.iter().find(|a| a.id == id) {
+                self.rejected.push(RejectedSubmission {
+                    submission: acc.submission.clone(),
+                    error,
+                });
+            }
+        }
+
+        let (baseline_time, cost) = if self.cost_report {
+            let baseline = run_training(&self.pipeline, self.cfg.schedule).total_time;
+            let work: Vec<TaskWork> = outcome
+                .tasks
+                .iter()
+                .map(|t| TaskWork::new(&t.profile, t.steps))
+                .collect();
+            (
+                Some(baseline),
+                Some(evaluate(baseline, outcome.total_time, &work)),
+            )
+        } else {
+            (None, None)
+        };
+
+        DeploymentReport {
+            mode: self.cfg.mode,
+            total_time: outcome.total_time,
+            epoch_times: outcome.epoch_times,
+            tasks: outcome.tasks,
+            rejected: self.rejected,
+            breakdown: outcome.breakdown,
+            trace: outcome.trace,
+            bubbles_reported: outcome.bubbles_reported,
+            baseline_time,
+            cost,
+        }
+    }
+}
+
+/// Result of one deployment run: everything the legacy `ColocationRun`
+/// carried, the rejected submissions kept whole, and (when enabled) the
+/// baseline time plus the paper's §6.1.5 cost metrics.
+#[derive(Debug)]
+pub struct DeploymentReport {
+    /// The mode that ran.
+    pub mode: ColocationMode,
+    /// Total pipeline-training time (`T_withSideTasks`).
+    pub total_time: SimDuration,
+    /// Per-epoch times.
+    pub epoch_times: Vec<SimDuration>,
+    /// Per-task outcomes, in placement order.
+    pub tasks: Vec<TaskSummary>,
+    /// Submissions the deployment could not serve, with typed reasons.
+    pub rejected: Vec<RejectedSubmission>,
+    /// Fig. 9 accounting (FreeRide modes only; zero for baselines).
+    pub breakdown: BubbleBreakdown,
+    /// SM-occupancy and memory traces per GPU.
+    pub trace: TraceRecorder,
+    /// Bubble reports delivered to the manager.
+    pub bubbles_reported: u64,
+    /// `T_noSideTask` under the same pipeline and schedule, when the cost
+    /// report was enabled.
+    pub baseline_time: Option<SimDuration>,
+    /// Time increase `I` and cost savings `S`, when enabled.
+    pub cost: Option<CostReport>,
+}
+
+impl DeploymentReport {
+    /// Work records for the cost model.
+    pub fn work(&self) -> Vec<TaskWork> {
+        self.tasks
+            .iter()
+            .map(|t| TaskWork::new(&t.profile, t.steps))
+            .collect()
+    }
+
+    /// Total steps across tasks of a built-in kind.
+    pub fn steps_of(&self, kind: WorkloadKind) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.steps)
+            .sum()
+    }
+
+    /// The outcome of a specific task.
+    pub fn task(&self, id: TaskId) -> Option<&TaskSummary> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+}
+
+impl From<DeploymentReport> for ColocationRun {
+    fn from(report: DeploymentReport) -> Self {
+        ColocationRun {
+            mode: report.mode,
+            total_time: report.total_time,
+            epoch_times: report.epoch_times,
+            tasks: report.tasks,
+            rejected: report.rejected,
+            breakdown: report.breakdown,
+            trace: report.trace,
+            bubbles_reported: report.bubbles_reported,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeride_pipeline::ModelSpec;
+
+    fn pipeline(epochs: usize) -> PipelineConfig {
+        PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(epochs)
+    }
+
+    #[test]
+    fn submit_rejects_oversized_with_numbers() {
+        let p = pipeline(3);
+        let best = (0..p.stages)
+            .map(|st| p.stage_free_memory(st))
+            .max()
+            .unwrap();
+        let mut dep = Deployment::builder(p).build();
+        let err = dep
+            .submit(Submission::new(WorkloadKind::Vgg19).with_batch(256))
+            .unwrap_err();
+        let needed = WorkloadKind::Vgg19.profile_with_batch(256).gpu_mem;
+        assert_eq!(
+            err,
+            SubmitError::InsufficientMemory {
+                needed,
+                best_worker_free: best,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_rejects_zero_batch() {
+        let mut dep = Deployment::builder(pipeline(3)).build();
+        let err = dep
+            .submit(Submission::new(WorkloadKind::ResNet18).with_batch(0))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::InvalidBatch { batch: 0 });
+    }
+
+    #[test]
+    fn handles_resolve_after_run() {
+        let mut dep = Deployment::builder(pipeline(3)).seed(11).build();
+        let handle = dep.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        assert_eq!(handle.state(), None, "no outcome before run");
+        let report = dep.run();
+        assert_eq!(handle.state(), Some(SideTaskState::Stopped));
+        assert_eq!(handle.stop_reason(), Some(StopReason::Finished));
+        assert!(handle.steps().unwrap() > 0);
+        assert_eq!(
+            report.task(handle.id()).unwrap().steps,
+            handle.steps().unwrap()
+        );
+    }
+
+    #[test]
+    fn rejected_submissions_are_kept_whole_in_the_report() {
+        let mut dep = Deployment::builder(pipeline(2)).build();
+        let _ = dep.submit(Submission::new(WorkloadKind::Vgg19).with_batch(256));
+        dep.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        let report = dep.run();
+        assert_eq!(report.rejected.len(), 1);
+        let r = &report.rejected[0];
+        assert_eq!(*r.submission.tag(), WorkloadKind::Vgg19);
+        assert_eq!(r.submission.batch(), 256);
+        assert!(matches!(r.error, SubmitError::InsufficientMemory { .. }));
+        assert_eq!(report.tasks.len(), 1);
+    }
+
+    #[test]
+    fn cost_report_is_optional() {
+        let p = pipeline(3);
+        let mut with = Deployment::builder(p.clone()).build();
+        with.submit(Submission::new(WorkloadKind::PageRank))
+            .unwrap();
+        let with = with.run();
+        assert!(with.cost.is_some());
+        assert!(with.baseline_time.is_some());
+
+        let mut without = Deployment::builder(p).cost_report(false).build();
+        without
+            .submit(Submission::new(WorkloadKind::PageRank))
+            .unwrap();
+        let without = without.run();
+        assert!(without.cost.is_none());
+        assert_eq!(with.total_time, without.total_time, "same physics");
+    }
+
+    #[test]
+    fn step_time_override_composes_with_batch_in_any_order() {
+        let base = || {
+            Submission::custom("x", MemBytes::from_gib(1), |seed| {
+                WorkloadKind::PageRank.build(seed)
+            })
+        };
+        let step = SimDuration::from_millis(5);
+        let a = base().with_step_time(step).with_batch(128);
+        let b = base().with_batch(128).with_step_time(step);
+        let pa = a.profile().unwrap();
+        let pb = b.profile().unwrap();
+        assert_eq!(pa, pb, "builder order must not change the profile");
+        assert_eq!(pa.step_server1, step, "override survives with_batch");
+        // The platform scaling matches WorkloadProfile::custom exactly.
+        let reference = WorkloadProfile::custom(MemBytes::from_gib(1), step);
+        assert_eq!(pa.step_server2, reference.step_server2);
+        assert_eq!(pa.step_cpu, reference.step_cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-step duration must be positive")]
+    fn zero_step_time_is_rejected_eagerly() {
+        let _ = Submission::custom("x", MemBytes::from_gib(1), |seed| {
+            WorkloadKind::PageRank.build(seed)
+        })
+        .with_step_time(SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-step duration must be positive")]
+    fn zero_step_profile_is_rejected_eagerly() {
+        let mut profile =
+            WorkloadProfile::custom(MemBytes::from_gib(1), SimDuration::from_millis(5));
+        profile.step_server1 = SimDuration::ZERO;
+        let _ = Submission::new(WorkloadKind::PageRank).with_profile(profile);
+    }
+
+    #[test]
+    fn builder_configures_mode_interface_seed() {
+        let dep = Deployment::builder(pipeline(2))
+            .interface(InterfaceKind::Imperative)
+            .seed(99)
+            .tune(|c| c.rpc_jitter = 0.0)
+            .build();
+        assert_eq!(
+            dep.config().mode,
+            ColocationMode::FreeRide(InterfaceKind::Imperative)
+        );
+        assert_eq!(dep.config().seed, 99);
+        assert_eq!(dep.config().rpc_jitter, 0.0);
+    }
+}

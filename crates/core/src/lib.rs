@@ -12,9 +12,16 @@
 //! * per-GPU **side-task workers** with MPS memory caps, container
 //!   isolation, and the **framework-enforced grace-period kill** of §4.5
 //!   ([`Worker`]);
+//! * the **`Deployment` session API** ([`Deployment`]): a builder-style
+//!   client against the middleware that accepts [`Submission`]s at any
+//!   simulated time (online arrivals), including **custom workloads** via
+//!   [`Submission::custom`], hands back [`TaskHandle`]s for per-task
+//!   outcome lookup, and reports typed [`SubmitError`]s instead of a
+//!   unit rejection;
 //! * the **orchestrator** wiring the instrumented pipeline trainer,
-//!   manager, and workers together over latency-modelled RPC
-//!   ([`run_colocation`]);
+//!   manager, and workers together over latency-modelled RPC (driven by
+//!   [`Deployment::run`]; the legacy batch wrapper [`run_colocation`]
+//!   remains for the paper-experiment binaries);
 //! * the **baselines** of §6.1.2 (MPS and naive co-location) and the
 //!   **metrics** of §6.1.5 (time increase `I`, cost savings `S`, Fig. 9
 //!   bubble accounting).
@@ -22,28 +29,27 @@
 //! ## Example: harvest bubbles with four PageRank side tasks
 //!
 //! ```
-//! use freeride_core::{run_baseline, run_colocation, evaluate, FreeRideConfig,
-//!                     Submission};
+//! use freeride_core::{Deployment, Submission};
 //! use freeride_pipeline::{ModelSpec, PipelineConfig};
 //! use freeride_tasks::WorkloadKind;
 //!
 //! let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
 //!     .with_epochs(3);
-//! let baseline = run_baseline(&pipeline);
-//! let run = run_colocation(
-//!     &pipeline,
-//!     &FreeRideConfig::iterative(),
-//!     &Submission::per_worker(WorkloadKind::PageRank, 4),
-//! );
-//! let report = evaluate(baseline, run.total_time, &run.work());
-//! assert!(report.time_increase < 0.05, "FreeRide overhead stays low");
-//! assert!(report.cost_savings > 0.0, "harvesting bubbles pays");
+//! let mut deployment = Deployment::builder(pipeline).build();
+//! for sub in Submission::per_worker(WorkloadKind::PageRank, 4) {
+//!     deployment.submit(sub).expect("fits bubble memory");
+//! }
+//! let report = deployment.run();
+//! let cost = report.cost.expect("cost report enabled by default");
+//! assert!(cost.time_increase < 0.05, "FreeRide overhead stays low");
+//! assert!(cost.cost_savings > 0.0, "harvesting bubbles pays");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+mod deployment;
 mod manager;
 mod metrics;
 mod orchestrator;
@@ -53,12 +59,15 @@ mod task;
 mod worker;
 
 pub use config::{ColocationMode, FreeRideConfig, InterfaceKind};
-pub use manager::{ManagerCmd, PlacementPolicy, Rejected, SideTaskManager, WorkerMeta};
+pub use deployment::{
+    Deployment, DeploymentBuilder, DeploymentReport, RejectedSubmission, Submission, TaskHandle,
+};
+pub use manager::{ManagerCmd, PlacementPolicy, SideTaskManager, SubmitError, WorkerMeta};
 pub use metrics::{
     evaluate, time_increase, BreakdownFractions, BubbleBreakdown, CostReport, TaskWork,
 };
 pub use orchestrator::{
-    run_baseline, run_baseline_with, run_colocation, ColocationRun, Submission, TaskSummary,
+    run_baseline, run_baseline_with, run_colocation, ColocationRun, TaskSummary,
 };
 pub use profiler::{profile_side_task, MeasuredProfile};
 pub use state::{next_state, IllegalTransition, SideTaskState, StateMachine, Transition};

@@ -57,17 +57,57 @@ pub enum ManagerCmd {
     },
 }
 
-/// Why a submission was rejected (Algorithm 1, line 13).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Rejected;
+/// Why a submission could not be admitted.
+///
+/// Replaces the old information-free `Rejected` unit struct: every variant
+/// carries the numbers an operator needs to act on the rejection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitError {
+    /// Algorithm 1, line 13: no worker's bubble GPU memory can hold the
+    /// task's footprint (admission requires strictly more free memory
+    /// than the task needs).
+    InsufficientMemory {
+        /// GPU memory the task's profile requires.
+        needed: MemBytes,
+        /// The largest bubble free memory any worker offers.
+        best_worker_free: MemBytes,
+    },
+    /// The submission's batch size is unusable (e.g. zero).
+    InvalidBatch {
+        /// The offending batch size.
+        batch: usize,
+    },
+    /// The task's arrival time fell after pipeline training had already
+    /// finished, so there were no bubbles left to serve it.
+    ArrivedAfterShutdown {
+        /// When the submission arrived.
+        arrival: SimTime,
+    },
+}
 
-impl core::fmt::Display for Rejected {
+impl core::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "no worker has enough bubble GPU memory")
+        match self {
+            SubmitError::InsufficientMemory {
+                needed,
+                best_worker_free,
+            } => write!(
+                f,
+                "no worker has enough bubble GPU memory: task needs {needed}, \
+                 best worker offers {best_worker_free}"
+            ),
+            SubmitError::InvalidBatch { batch } => {
+                write!(f, "invalid batch size {batch}: must be positive")
+            }
+            SubmitError::ArrivedAfterShutdown { arrival } => write!(
+                f,
+                "submission arrived at {arrival}, after pipeline training finished"
+            ),
+        }
     }
 }
 
-impl std::error::Error for Rejected {}
+impl std::error::Error for SubmitError {}
 
 #[derive(Debug, Clone)]
 struct TaskView {
@@ -175,11 +215,26 @@ impl SideTaskManager {
         self.workers.len()
     }
 
+    /// The largest bubble free memory any worker offers — the admission
+    /// bound of Algorithm 1 (a task needing this much or more is
+    /// rejected).
+    pub fn best_worker_free(&self) -> MemBytes {
+        self.workers
+            .iter()
+            .map(|w| w.gpu_mem)
+            .max()
+            .unwrap_or(MemBytes::ZERO)
+    }
+
     /// **Algorithm 1** — places a new task on the worker with enough
     /// bubble memory and the fewest assigned tasks; rejects if none
     /// qualifies. On success the task enters the worker's queue and a
     /// `Create` command is emitted.
-    pub fn submit(&mut self, id: TaskId, mem: MemBytes) -> Result<(usize, ManagerCmd), Rejected> {
+    pub fn submit(
+        &mut self,
+        id: TaskId,
+        mem: MemBytes,
+    ) -> Result<(usize, ManagerCmd), SubmitError> {
         let mut selected: Option<usize> = None;
         let mut best_key = (usize::MAX, MemBytes::ZERO);
         for (i, w) in self.workers.iter().enumerate() {
@@ -206,7 +261,10 @@ impl SideTaskManager {
             }
         }
         let Some(worker) = selected else {
-            return Err(Rejected);
+            return Err(SubmitError::InsufficientMemory {
+                needed: mem,
+                best_worker_free: self.best_worker_free(),
+            });
         };
         self.workers[worker].task_queue.push_back(TaskView {
             id,
@@ -414,12 +472,27 @@ mod tests {
     }
 
     #[test]
-    fn algorithm1_rejects_oversized_tasks() {
+    fn algorithm1_rejects_oversized_tasks_with_real_numbers() {
         let mut m = manager();
-        assert_eq!(m.submit(TaskId(0), gib(30)).unwrap_err(), Rejected);
+        assert_eq!(
+            m.submit(TaskId(0), gib(30)).unwrap_err(),
+            SubmitError::InsufficientMemory {
+                needed: gib(30),
+                best_worker_free: gib(26),
+            }
+        );
         // Strict inequality: a task exactly equal to the max is rejected.
         assert!(m.submit(TaskId(1), gib(26)).is_err());
         assert!(m.submit(TaskId(2), gib(25)).is_ok());
+    }
+
+    #[test]
+    fn submit_error_display_carries_the_numbers() {
+        let mut m = manager();
+        let err = m.submit(TaskId(0), gib(30)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("30"), "needed memory in message: {msg}");
+        assert!(msg.contains("26"), "best worker memory in message: {msg}");
     }
 
     #[test]

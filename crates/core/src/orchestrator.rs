@@ -1,14 +1,27 @@
-//! The FreeRide deployment: pipeline training, side-task manager, per-GPU
-//! workers, and RPC wiring, composed into one deterministic simulation
-//! world (Fig. 3 and Fig. 5 of the paper).
+//! The FreeRide execution engine: pipeline training, side-task manager,
+//! per-GPU workers, and RPC wiring, composed into one deterministic
+//! simulation world (Fig. 3 and Fig. 5 of the paper).
+//!
+//! The public entry point is the session-style [`Deployment`] API (see
+//! [`crate::deployment`]); this module owns the simulation world it runs
+//! on, plus the legacy batch wrappers [`run_colocation`] and
+//! [`run_baseline`] kept for the paper-experiment binaries.
 //!
 //! The same orchestrator also runs the two baselines of §6.1.2 — MPS
 //! co-location and naive co-location — by skipping the bubble machinery
 //! and letting side tasks run continuously under the corresponding device
 //! sharing model.
+//!
+//! Side tasks arrive **online**: each submission carries an arrival time,
+//! and arrivals after t = 0 are simulation events that feed
+//! [`SideTaskManager::submit`] mid-run — the task is placed by
+//! Algorithm 1 against the bubbles that remain. Submissions arriving
+//! after training finished are recorded as rejected with
+//! [`SubmitError::ArrivedAfterShutdown`].
 
 use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
-use crate::manager::{ManagerCmd, SideTaskManager};
+use crate::deployment::{AcceptedSubmission, Deployment, RejectedSubmission, Submission};
+use crate::manager::{ManagerCmd, SideTaskManager, SubmitError};
 use crate::metrics::{BubbleBreakdown, TaskWork};
 use crate::state::SideTaskState;
 use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
@@ -19,67 +32,17 @@ use freeride_rpc::{Directory, Endpoint, Envelope, LatencyModel, RpcBus};
 use freeride_sim::{
     DetRng, EventId, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder, World,
 };
-use freeride_tasks::{WorkloadKind, WorkloadProfile, DEFAULT_BATCH};
+use freeride_tasks::{SideTaskWorkload, WorkloadKind, WorkloadProfile, WorkloadTag};
 use serde::Serialize;
-use std::collections::BTreeMap;
-
-/// A side task to submit to the deployment.
-#[derive(Debug, Clone, Copy)]
-pub struct Submission {
-    /// Which workload.
-    pub kind: WorkloadKind,
-    /// Batch size (model-training tasks only).
-    pub batch: usize,
-    /// Failure injection.
-    pub misbehavior: Misbehavior,
-}
-
-impl Submission {
-    /// A well-behaved submission at the default batch size.
-    pub fn new(kind: WorkloadKind) -> Self {
-        Submission {
-            kind,
-            batch: DEFAULT_BATCH,
-            misbehavior: Misbehavior::None,
-        }
-    }
-
-    /// Overrides the batch size (builder style).
-    pub fn with_batch(mut self, batch: usize) -> Self {
-        self.batch = batch;
-        self
-    }
-
-    /// Installs failure injection (builder style).
-    pub fn with_misbehavior(mut self, m: Misbehavior) -> Self {
-        self.misbehavior = m;
-        self
-    }
-
-    /// The paper's §6.2 setup: the same workload submitted once per stage.
-    pub fn per_worker(kind: WorkloadKind, stages: usize) -> Vec<Submission> {
-        (0..stages).map(|_| Submission::new(kind)).collect()
-    }
-
-    /// The paper's mixed workload: PageRank, ResNet18, Image, VGG19 — one
-    /// per worker of stages 0–3.
-    pub fn mixed() -> Vec<Submission> {
-        vec![
-            Submission::new(WorkloadKind::PageRank),
-            Submission::new(WorkloadKind::ResNet18),
-            Submission::new(WorkloadKind::ImageProc),
-            Submission::new(WorkloadKind::Vgg19),
-        ]
-    }
-}
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of one submitted task.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TaskSummary {
     /// Task id.
     pub id: TaskId,
-    /// Workload kind.
-    pub kind: WorkloadKind,
+    /// Workload identity (built-in kind or custom name).
+    pub kind: WorkloadTag,
     /// Worker (stage) it was assigned to.
     pub worker: usize,
     /// Steps completed.
@@ -88,11 +51,14 @@ pub struct TaskSummary {
     pub final_state: SideTaskState,
     /// Why it stopped.
     pub stop_reason: StopReason,
+    /// The workload's most recent progress metric, if it ever stepped.
+    pub last_value: Option<f64>,
     /// The profile it ran under (batch-adjusted).
     pub profile: WorkloadProfile,
 }
 
-/// Result of one co-location run.
+/// Result of one co-location run (legacy shape; superseded by
+/// [`crate::DeploymentReport`], which adds baseline time and cost).
 #[derive(Debug)]
 pub struct ColocationRun {
     /// The mode that ran.
@@ -103,8 +69,8 @@ pub struct ColocationRun {
     pub epoch_times: Vec<SimDuration>,
     /// Per-task outcomes.
     pub tasks: Vec<TaskSummary>,
-    /// Submissions rejected by Algorithm 1.
-    pub rejected: Vec<WorkloadKind>,
+    /// Submissions rejected by Algorithm 1, kept whole with typed reasons.
+    pub rejected: Vec<RejectedSubmission>,
     /// Fig. 9 accounting (FreeRide modes only; zero for baselines).
     pub breakdown: BubbleBreakdown,
     /// SM-occupancy and memory traces per GPU.
@@ -149,6 +115,9 @@ enum Ev {
     ManagerPollPeriodic,
     ManagerPollOnce,
     Deliver(Envelope<Msg>),
+    /// An online submission's arrival time was reached (index into
+    /// `OrchestratorWorld::arrivals`).
+    Arrival(usize),
     InitDone {
         worker: usize,
         task: TaskId,
@@ -164,8 +133,18 @@ enum Ev {
     },
 }
 
+/// An online submission waiting for its arrival event.
+struct ArrivalSlot {
+    id: TaskId,
+    tag: WorkloadTag,
+    profile: WorkloadProfile,
+    misbehavior: Misbehavior,
+    workload: Box<dyn SideTaskWorkload>,
+}
+
 struct OrchestratorWorld {
     cfg: FreeRideConfig,
+    interface: InterfaceKind,
     devices: Vec<GpuDevice>,
     engine: PipelineEngine,
     manager: SideTaskManager,
@@ -177,6 +156,15 @@ struct OrchestratorWorld {
     pending_create: BTreeMap<TaskId, SideTask>,
     pid_index: BTreeMap<ProcessId, (usize, TaskId)>,
     tick_ids: Vec<Option<EventId>>,
+    /// Placement log `(id, worker, tag, profile)`, grown as tasks place.
+    placements: Vec<(TaskId, usize, WorkloadTag, WorkloadProfile)>,
+    /// Online submissions not yet arrived.
+    arrivals: Vec<Option<ArrivalSlot>>,
+    /// Submissions that could not be placed mid-run.
+    late_rejected: Vec<(TaskId, SubmitError)>,
+    /// Tasks already sent a `Stop` after training ended (suppresses
+    /// duplicates when late acknowledgements race the shutdown).
+    stop_sent: BTreeSet<TaskId>,
     trace: TraceRecorder,
     bubble_total: SimDuration,
     bubble_unused: SimDuration,
@@ -258,12 +246,8 @@ impl OrchestratorWorld {
             return;
         }
         self.stops_issued = true;
-        if self.is_freeride() {
-            let cmds = self.manager.stop_all();
-            for cmd in cmds {
-                let to = self.ep_workers[cmd_worker(&cmd)];
-                self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
-            }
+        let cmds = if self.is_freeride() {
+            self.manager.stop_all()
         } else {
             // Baselines: stop every live task directly.
             let mut stops = Vec::new();
@@ -279,11 +263,40 @@ impl OrchestratorWorld {
             }
             // Tasks still awaiting creation never start.
             self.pending_create.clear();
-            for cmd in stops {
-                let to = self.ep_workers[cmd_worker(&cmd)];
-                self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+            stops
+        };
+        for cmd in cmds {
+            if let ManagerCmd::Stop { task, .. } = cmd {
+                self.stop_sent.insert(task);
             }
+            let to = self.ep_workers[cmd_worker(&cmd)];
+            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
         }
+    }
+
+    /// A task acknowledged a non-stopped state after training already
+    /// ended (an online arrival racing the shutdown): stop it now so the
+    /// run drains.
+    fn stop_straggler(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        task: TaskId,
+        state: SideTaskState,
+        s: &mut Scheduler<'_, Ev>,
+    ) -> bool {
+        if !self.stops_issued || state == SideTaskState::Stopped || !self.stop_sent.insert(task) {
+            return false;
+        }
+        let to = self.ep_workers[worker];
+        self.send(
+            now,
+            self.ep_manager,
+            to,
+            Msg::Cmd(ManagerCmd::Stop { worker, task }),
+            s,
+        );
+        true
     }
 
     fn run_manager_poll(&mut self, now: SimTime, s: &mut Scheduler<'_, Ev>) {
@@ -294,6 +307,35 @@ impl OrchestratorWorld {
         for cmd in cmds {
             let to = self.ep_workers[cmd_worker(&cmd)];
             self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+        }
+    }
+
+    fn handle_arrival(&mut self, now: SimTime, idx: usize, s: &mut Scheduler<'_, Ev>) {
+        let Some(slot) = self.arrivals[idx].take() else {
+            return;
+        };
+        if self.stops_issued || self.training_done {
+            self.late_rejected
+                .push((slot.id, SubmitError::ArrivedAfterShutdown { arrival: now }));
+            return;
+        }
+        match self.manager.submit(slot.id, slot.profile.gpu_mem) {
+            Ok((w, cmd)) => {
+                let task = SideTask::new(
+                    slot.id,
+                    slot.tag.clone(),
+                    slot.profile,
+                    self.interface,
+                    slot.workload,
+                    now,
+                )
+                .with_misbehavior(slot.misbehavior);
+                self.pending_create.insert(slot.id, task);
+                self.placements.push((slot.id, w, slot.tag, slot.profile));
+                let to = self.ep_workers[w];
+                self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+            }
+            Err(e) => self.late_rejected.push((slot.id, e)),
         }
     }
 
@@ -319,7 +361,7 @@ impl OrchestratorWorld {
                             },
                             s,
                         );
-                    } else {
+                    } else if !self.stop_straggler(now, worker, task, state, s) {
                         // Baselines have no manager loop: drive the task
                         // straight through Init and then run it
                         // continuously (an infinite "bubble").
@@ -449,6 +491,7 @@ impl World for OrchestratorWorld {
             Ev::ManagerPollOnce => {
                 self.run_manager_poll(now, s);
             }
+            Ev::Arrival(idx) => self.handle_arrival(now, idx, s),
             Ev::Deliver(env) => match env.msg {
                 Msg::Bubble(r) => {
                     self.bubbles_reported += 1;
@@ -473,6 +516,7 @@ impl World for OrchestratorWorld {
                     state,
                 } => {
                     self.manager.on_task_state(worker, task, state);
+                    self.stop_straggler(now, worker, task, state, s);
                     self.run_manager_poll(now, s);
                 }
             },
@@ -504,14 +548,25 @@ impl World for OrchestratorWorld {
     }
 }
 
-/// Runs pipeline training co-located with the submitted side tasks under
+/// Raw results of one orchestrated run, assembled by
+/// [`Deployment::run`] into a [`crate::DeploymentReport`].
+pub(crate) struct ExecutionOutput {
+    pub(crate) total_time: SimDuration,
+    pub(crate) epoch_times: Vec<SimDuration>,
+    pub(crate) tasks: Vec<TaskSummary>,
+    pub(crate) breakdown: BubbleBreakdown,
+    pub(crate) trace: TraceRecorder,
+    pub(crate) bubbles_reported: u64,
+    pub(crate) late_rejected: Vec<(TaskId, SubmitError)>,
+}
+
+/// Runs pipeline training co-located with the accepted submissions under
 /// the given mode, to completion.
-pub fn run_colocation(
+pub(crate) fn execute(
     pipeline_cfg: &PipelineConfig,
     fr_cfg: &FreeRideConfig,
-    submissions: &[Submission],
-) -> ColocationRun {
-    fr_cfg.validate();
+    accepted: &[AcceptedSubmission],
+) -> ExecutionOutput {
     let rng = DetRng::seed_from_u64(fr_cfg.seed);
 
     // Devices with the sharing model the mode implies.
@@ -550,30 +605,44 @@ pub fn run_colocation(
         _ => InterfaceKind::Imperative,
     };
 
-    // Build and place the submissions.
+    // Build and place the up-front submissions; queue the online ones for
+    // their arrival events.
     let mut pending_create = BTreeMap::new();
-    let mut rejected = Vec::new();
-    let mut placements: Vec<(TaskId, usize, WorkloadKind, WorkloadProfile)> = Vec::new();
+    let mut late_rejected = Vec::new();
+    let mut placements: Vec<(TaskId, usize, WorkloadTag, WorkloadProfile)> = Vec::new();
     let mut initial_cmds = Vec::new();
-    for (i, sub) in submissions.iter().enumerate() {
-        let id = TaskId(i as u64);
-        let profile = sub.kind.profile_with_batch(sub.batch);
-        match manager.submit(id, profile.gpu_mem) {
-            Ok((w, cmd)) => {
-                let task = SideTask::new(
-                    id,
-                    sub.kind,
-                    profile,
-                    interface,
-                    sub.kind.build(fr_cfg.seed ^ (i as u64)),
-                    SimTime::ZERO,
-                )
-                .with_misbehavior(sub.misbehavior);
-                pending_create.insert(id, task);
-                placements.push((id, w, sub.kind, profile));
-                initial_cmds.push(cmd);
+    let mut arrivals: Vec<Option<ArrivalSlot>> = Vec::new();
+    let mut arrival_times: Vec<SimTime> = Vec::new();
+    for acc in accepted {
+        let id = acc.id;
+        let sub = &acc.submission;
+        if sub.arrival() == SimTime::ZERO {
+            match manager.submit(id, acc.profile.gpu_mem) {
+                Ok((w, cmd)) => {
+                    let task = SideTask::new(
+                        id,
+                        sub.tag().clone(),
+                        acc.profile,
+                        interface,
+                        sub.build_workload(fr_cfg.seed ^ id.0),
+                        SimTime::ZERO,
+                    )
+                    .with_misbehavior(sub.misbehavior());
+                    pending_create.insert(id, task);
+                    placements.push((id, w, sub.tag().clone(), acc.profile));
+                    initial_cmds.push(cmd);
+                }
+                Err(e) => late_rejected.push((id, e)),
             }
-            Err(_) => rejected.push(sub.kind),
+        } else {
+            arrival_times.push(sub.arrival());
+            arrivals.push(Some(ArrivalSlot {
+                id,
+                tag: sub.tag().clone(),
+                profile: acc.profile,
+                misbehavior: sub.misbehavior(),
+                workload: sub.build_workload(fr_cfg.seed ^ id.0),
+            }));
         }
     }
 
@@ -610,12 +679,17 @@ pub fn run_colocation(
         ep_workers,
         pending_create,
         pid_index: BTreeMap::new(),
+        placements,
+        arrivals,
+        late_rejected,
+        stop_sent: BTreeSet::new(),
         trace,
         bubble_total: SimDuration::ZERO,
         bubble_unused: SimDuration::ZERO,
         bubbles_reported: 0,
         training_done: false,
         stops_issued: false,
+        interface,
         cfg: fr_cfg.clone(),
     };
 
@@ -634,7 +708,7 @@ pub fn run_colocation(
             _ => {}
         }
     }
-    // Seed task creation RPCs and the manager loop.
+    // Seed task creation RPCs for up-front submissions.
     {
         let mut cmd_events = Vec::new();
         {
@@ -649,6 +723,10 @@ pub fn run_colocation(
             sim.seed_at(at, Ev::Deliver(env));
         }
     }
+    // Seed online arrivals and the manager loop.
+    for (idx, at) in arrival_times.into_iter().enumerate() {
+        sim.seed_at(at, Ev::Arrival(idx));
+    }
     sim.seed(Ev::ManagerPollPeriodic);
 
     let outcome = sim.run_to_quiescence();
@@ -659,17 +737,31 @@ pub fn run_colocation(
 
     // Gather results.
     let mut tasks = Vec::new();
-    for (id, wi, kind, profile) in placements {
-        let t = world.workers[wi].task(id).expect("created task persists");
-        tasks.push(TaskSummary {
-            id,
-            kind,
-            worker: wi,
-            steps: t.steps,
-            final_state: t.state(),
-            stop_reason: t.stop_reason,
-            profile,
-        });
+    for (id, wi, tag, profile) in world.placements {
+        match world.workers[wi].task(id) {
+            Some(t) => tasks.push(TaskSummary {
+                id,
+                kind: tag,
+                worker: wi,
+                steps: t.steps,
+                final_state: t.state(),
+                stop_reason: t.stop_reason,
+                last_value: t.last_value,
+                profile,
+            }),
+            // Placed, but training ended before the Create RPC landed
+            // (online arrival racing the shutdown): never materialised.
+            None => tasks.push(TaskSummary {
+                id,
+                kind: tag,
+                worker: wi,
+                steps: 0,
+                final_state: SideTaskState::Submitted,
+                stop_reason: StopReason::NotStopped,
+                last_value: None,
+                profile,
+            }),
+        }
     }
     let mut breakdown = BubbleBreakdown {
         total: world.bubble_total,
@@ -682,16 +774,37 @@ pub fn run_colocation(
         breakdown.insufficient += acc.insufficient;
     }
 
-    ColocationRun {
-        mode: fr_cfg.mode,
+    ExecutionOutput {
         total_time: world.engine.total_time(),
         epoch_times: world.engine.epoch_times().to_vec(),
         tasks,
-        rejected,
         breakdown,
         trace: world.trace,
         bubbles_reported: world.bubbles_reported,
+        late_rejected: world.late_rejected,
     }
+}
+
+/// Legacy batch entry point: runs pipeline training co-located with the
+/// submitted side tasks under the given mode, to completion.
+///
+/// A thin wrapper over the [`Deployment`] session API — every submission
+/// is submitted up front and rejections are folded into
+/// [`ColocationRun::rejected`] instead of surfacing as typed errors.
+pub fn run_colocation(
+    pipeline_cfg: &PipelineConfig,
+    fr_cfg: &FreeRideConfig,
+    submissions: &[Submission],
+) -> ColocationRun {
+    fr_cfg.validate();
+    let mut deployment = Deployment::builder(pipeline_cfg.clone())
+        .config(fr_cfg.clone())
+        .cost_report(false)
+        .build();
+    for sub in submissions {
+        let _ = deployment.submit(sub.clone());
+    }
+    deployment.run().into()
 }
 
 /// Runs the no-side-task baseline with the same pipeline configuration

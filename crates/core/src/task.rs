@@ -4,7 +4,7 @@ use crate::config::InterfaceKind;
 use crate::state::{SideTaskState, StateMachine, Transition};
 use freeride_gpu::{ContainerId, MemBytes, ProcessId};
 use freeride_sim::SimTime;
-use freeride_tasks::{SideTaskWorkload, WorkloadKind, WorkloadProfile};
+use freeride_tasks::{SideTaskWorkload, WorkloadProfile, WorkloadTag};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a submitted side task.
@@ -59,8 +59,8 @@ pub enum StopReason {
 pub struct SideTask {
     /// Task id.
     pub id: TaskId,
-    /// Which workload this is.
-    pub kind: WorkloadKind,
+    /// Which workload this is (built-in kind or custom name).
+    pub kind: WorkloadTag,
     /// Profiled characteristics (memory, step durations, interference).
     pub profile: WorkloadProfile,
     /// The programming interface it was implemented with.
@@ -80,6 +80,9 @@ pub struct SideTask {
     pub last_paused: Option<SimTime>,
     /// Steps completed during bubbles.
     pub steps: u64,
+    /// The workload's most recent progress metric (loss, delta, RMSE…),
+    /// surfaced into the run report.
+    pub last_value: Option<f64>,
     /// Failure injection.
     pub misbehavior: Misbehavior,
     /// Why the task stopped, if it did.
@@ -95,7 +98,7 @@ impl SideTask {
     /// Wraps a workload into a fresh `SUBMITTED` task.
     pub fn new(
         id: TaskId,
-        kind: WorkloadKind,
+        kind: impl Into<WorkloadTag>,
         profile: WorkloadProfile,
         interface: InterfaceKind,
         workload: Box<dyn SideTaskWorkload>,
@@ -103,7 +106,7 @@ impl SideTask {
     ) -> Self {
         SideTask {
             id,
-            kind,
+            kind: kind.into(),
             profile,
             interface,
             workload,
@@ -113,6 +116,7 @@ impl SideTask {
             container: None,
             last_paused: None,
             steps: 0,
+            last_value: None,
             misbehavior: Misbehavior::None,
             stop_reason: StopReason::NotStopped,
             leaked: MemBytes::ZERO,

@@ -328,14 +328,14 @@ impl Worker {
         }
         match task.interface {
             InterfaceKind::Iterative => {
-                task.workload.run_step();
+                task.last_value = Some(task.workload.run_step());
                 task.steps += 1;
             }
             InterfaceKind::Imperative => {
                 task.sub_progress += solo;
                 while task.sub_progress >= task.profile.step_server1 {
                     task.sub_progress -= task.profile.step_server1;
-                    task.workload.run_step();
+                    task.last_value = Some(task.workload.run_step());
                     task.steps += 1;
                 }
             }

@@ -13,6 +13,10 @@
 //! * **Calibrated profiles** ([`WorkloadProfile`]) carrying each task's
 //!   GPU memory, per-step duration per platform, and interference
 //!   characteristics (`DESIGN.md` §5);
+//! * A **workload factory** abstraction ([`WorkloadFactory`]) so custom
+//!   workloads — the paper's Fig. 6 porting exercise — are first-class
+//!   submission currency; [`WorkloadKind`] implements it, making the six
+//!   built-ins one provider among many;
 //! * **Server specs and prices** for the cost-savings metric.
 //!
 //! ## Example
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod factory;
 mod graph;
 mod image;
 mod nn;
@@ -41,6 +46,7 @@ mod profiles;
 mod workload;
 
 pub use cost::ServerSpec;
+pub use factory::{WorkloadFactory, WorkloadTag};
 pub use graph::{CsrGraph, GraphSgd, PageRank};
 pub use image::{Image, ImagePipeline};
 pub use nn::{Matrix, NnTraining};

@@ -112,7 +112,6 @@ impl WorkloadKind {
         };
         let step1 = SimDuration::from_millis_f64(step1_ms);
         WorkloadProfile {
-            kind: self,
             batch_size: DEFAULT_BATCH,
             gpu_mem: MemBytes::from_gib_f64(mem_gib),
             step_server1: step1,
@@ -150,8 +149,6 @@ pub const DEFAULT_BATCH: usize = 64;
 /// the interference characteristics used by the GPU sharing model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadProfile {
-    /// Which workload this profiles.
-    pub kind: WorkloadKind,
     /// Batch size the profile was taken at (model training only).
     pub batch_size: usize,
     /// GPU memory footprint; compared against bubble free memory by
@@ -170,6 +167,26 @@ pub struct WorkloadProfile {
 }
 
 impl WorkloadProfile {
+    /// A profile for a custom workload from the two quantities every
+    /// porting exercise knows: GPU footprint and per-step duration on
+    /// Server-I. The remaining characteristics default to the middle of
+    /// the built-in workloads' bands (Server-II ≈ 1.9× slower, CPU ≈ 20×,
+    /// half-GPU SM demand, mild MPS contention); override the public
+    /// fields for finer calibration.
+    pub fn custom(gpu_mem: MemBytes, step: SimDuration) -> Self {
+        assert!(!step.is_zero(), "per-step duration must be positive");
+        assert!(!gpu_mem.is_zero(), "GPU footprint must be positive");
+        WorkloadProfile {
+            batch_size: DEFAULT_BATCH,
+            gpu_mem,
+            step_server1: step,
+            step_server2: step.mul_f64(1.9),
+            step_cpu: step.mul_f64(20.0),
+            sm_demand: 0.5,
+            mps_intensity: 0.4,
+        }
+    }
+
     /// Steps per second on Server-II (denominator of the paper's
     /// `C_sideTasks`).
     pub fn throughput_server2(&self) -> f64 {
@@ -305,5 +322,22 @@ mod tests {
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_panics() {
         WorkloadKind::ResNet18.profile_with_batch(0);
+    }
+
+    #[test]
+    fn custom_profile_keeps_platform_ordering() {
+        let p = WorkloadProfile::custom(MemBytes::from_gib(1), SimDuration::from_millis(5));
+        assert_eq!(p.gpu_mem, MemBytes::from_gib(1));
+        assert_eq!(p.step_server1, SimDuration::from_millis(5));
+        assert!(p.step_server2 > p.step_server1, "lower tier slower");
+        assert!(p.step_cpu > p.step_server2, "CPU slowest");
+        assert!(p.sm_demand > 0.0 && p.sm_demand <= 1.0);
+        assert!(p.fits_server2());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-step duration")]
+    fn custom_profile_rejects_zero_step() {
+        WorkloadProfile::custom(MemBytes::from_gib(1), SimDuration::ZERO);
     }
 }

@@ -4,21 +4,21 @@
 //! The paper's claim is that adapting a GPU workload takes six small
 //! steps: inherit the interface, split initialisation into host and GPU
 //! phases, and wrap the inner loop as `RunNextStep()`. Here we port a
-//! Monte-Carlo π estimator and drive it through the worker exactly as the
-//! middleware would: Create → Init → Start → steps → Pause → Stop.
+//! Monte-Carlo π estimator and submit it through the public `Deployment`
+//! session API — the same front door as the six built-in workloads. The
+//! middleware profiles, places (Algorithm 1), and drives it through the
+//! full Create → Init → Start → steps → Pause → Stop life cycle across
+//! real bubbles; a second instance arrives *mid-training* and is placed
+//! online.
 //!
 //! Run: `cargo run --release --example custom_side_task`
 
-use freeride::core::{
-    FreeRideConfig, InterfaceKind, SideTask, SideTaskState, TaskId, Worker, WorkerEffect,
-};
-use freeride::gpu::{GpuDevice, GpuId, MemBytes, MpsPrioritized};
-use freeride::sim::{DetRng, SimDuration, SimTime};
-use freeride::tasks::{SideTaskWorkload, WorkloadKind};
+use freeride::prelude::*;
 
 /// Step ➀ of Fig. 6: the original GPU workload, adapted to the step-wise
 /// interface. Each step draws a batch of points and refines the estimate.
 struct MonteCarloPi {
+    seed: u64,
     rng: Option<DetRng>,
     inside: u64,
     total: u64,
@@ -27,8 +27,9 @@ struct MonteCarloPi {
 }
 
 impl MonteCarloPi {
-    fn new(batch: u64) -> Self {
+    fn new(seed: u64, batch: u64) -> Self {
         MonteCarloPi {
+            seed,
             rng: None,
             inside: 0,
             total: 0,
@@ -52,7 +53,7 @@ impl SideTaskWorkload for MonteCarloPi {
 
     // Step ➁: load context into host memory (CREATED).
     fn create(&mut self) {
-        self.rng = Some(DetRng::seed_from_u64(314));
+        self.rng = Some(DetRng::seed_from_u64(self.seed));
     }
 
     // Step ➂: move it to GPU memory (PAUSED).
@@ -60,7 +61,8 @@ impl SideTaskWorkload for MonteCarloPi {
         assert!(self.rng.is_some(), "create must run first");
     }
 
-    // Step ➃: the original inner loop, one step at a time.
+    // Step ➃: the original inner loop, one step at a time. The returned
+    // estimate is surfaced as the task's `last_value` in the report.
     fn run_step(&mut self) -> f64 {
         let rng = self.rng.as_mut().expect("init_gpu must run first");
         for _ in 0..self.batch {
@@ -80,78 +82,64 @@ impl SideTaskWorkload for MonteCarloPi {
     }
 }
 
+/// Steps ➄–➅: declare what the profiler would have measured (footprint +
+/// step time) and hand the factory to a submission.
+fn pi_submission() -> Submission {
+    Submission::custom("monte-carlo-pi", MemBytes::from_gib(1), |seed| {
+        Box::new(MonteCarloPi::new(seed, 50_000))
+    })
+    .with_step_time(SimDuration::from_millis(5))
+}
+
 fn main() {
-    // Step ➄: profile + submit. We borrow ResNet18's profile shape and
-    // override what differs (a light 5ms step, 1 GiB footprint).
-    let mut profile = WorkloadKind::ResNet18.profile();
-    profile.gpu_mem = MemBytes::from_gib(1);
-    profile.step_server1 = SimDuration::from_millis(5);
-    profile.step_server2 = SimDuration::from_millis(9);
-    profile.sm_demand = 0.4;
+    // The paper's main pipeline: 3.6B nanoGPT on four 48 GiB GPUs.
+    let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(6);
 
-    let task = SideTask::new(
-        TaskId(0),
-        WorkloadKind::ResNet18, // reporting bucket; the workload is ours
-        profile,
-        InterfaceKind::Iterative,
-        Box::new(MonteCarloPi::new(50_000)),
-        SimTime::ZERO,
-    );
+    let mut deployment = Deployment::builder(pipeline)
+        .interface(InterfaceKind::Iterative)
+        .seed(314)
+        .build();
 
-    // Drive the life cycle through a worker on a simulated GPU, exactly
-    // the calls the manager's RPCs would trigger.
-    let mut device = GpuDevice::new(
-        GpuId(0),
-        MemBytes::from_gib(48),
-        Box::new(MpsPrioritized::default()),
-    );
-    let mut worker = Worker::new(0, FreeRideConfig::iterative());
+    // One estimator submitted up front…
+    let first = deployment.submit(pi_submission()).expect("1 GiB fits");
+    // …and one arriving four seconds into training (online submission).
+    let late = deployment
+        .submit(pi_submission().at(SimTime::from_millis(4_000)))
+        .expect("still fits");
 
-    let t = |ms: u64| SimTime::from_millis(ms);
-    let fx = worker.handle_create(t(0), task, &mut device);
-    println!("create  -> {fx:?}");
-    let fx = worker.handle_init(t(1), TaskId(0), &mut device);
-    let init_done_at = match fx[0] {
-        WorkerEffect::ScheduleInitDone { at, .. } => at,
-        _ => unreachable!("init schedules its completion"),
-    };
-    worker.init_done(init_done_at, TaskId(0));
-    println!(
-        "init    -> PAUSED at {init_done_at} holding {}",
-        MemBytes::from_gib(1)
-    );
+    let report = deployment.run();
 
-    // A 400ms bubble arrives: StartSideTask with its predicted end.
-    let bubble_start = t(1000);
-    let bubble_end = t(1400);
-    worker.handle_start(bubble_start, TaskId(0), bubble_end, &mut device);
-
-    // Let the device run the step kernels until the program-directed check
-    // stops before the bubble's end.
-    while let Some(next) = device.next_completion_time() {
-        let mut now = next;
-        device.advance_through(now);
-        let fx = worker.on_step_complete(now, TaskId(0), &mut device);
-        if let Some(WorkerEffect::ScheduleStepLaunch { at, .. }) = fx.first() {
-            now = *at;
-            worker.step_launch_due(now, TaskId(0), &mut device);
-        }
+    for handle in [&first, &late] {
+        let outcome = handle.outcome().expect("ran to completion");
+        println!(
+            "{} (task {}): stage {}, {} steps, ended {:?} ({:?})",
+            handle.tag(),
+            handle.id(),
+            outcome.worker,
+            outcome.steps,
+            outcome.final_state,
+            outcome.stop_reason,
+        );
     }
-    worker.handle_pause(bubble_end, TaskId(0), &mut device);
-    let task_ref = worker.task(TaskId(0)).unwrap();
-    println!(
-        "bubble  -> ran {} steps in a 400ms bubble, state {}",
-        task_ref.steps,
-        task_ref.state()
-    );
-    assert_eq!(task_ref.state(), SideTaskState::Paused);
 
-    worker.handle_stop(t(2000), TaskId(0), &mut device);
-    println!("stop    -> {}", worker.task(TaskId(0)).unwrap().state());
-
-    // The side task did real work: π came out of the bubbles.
-    // (Each step refined the estimate with 50k samples.)
+    // The side tasks did real work inside bubbles: π came out.
+    let pi = first.last_value().expect("stepped at least once");
     println!();
-    println!("estimated pi from harvested bubbles: (about 78 steps x 50k samples)");
-    println!("the interface handled pausing/resuming; the workload only wrote steps.");
+    println!(
+        "estimated pi from harvested bubbles: {pi:.4} ({} samples)",
+        first.steps().unwrap() * 50_000
+    );
+    assert!((pi - std::f64::consts::PI).abs() < 0.05, "estimate {pi}");
+    assert_eq!(first.stop_reason(), Some(StopReason::Finished));
+    assert!(
+        late.steps().unwrap() > 0,
+        "the mid-run arrival harvested bubbles too"
+    );
+    assert!(report
+        .tasks
+        .iter()
+        .all(|t| t.kind.name() == "monte-carlo-pi"));
+
+    println!("the middleware handled profiling, placement, pausing, resuming;");
+    println!("the workload only wrote steps — exactly the paper's porting claim.");
 }

@@ -26,19 +26,30 @@
 //!
 //! // The paper's main setup: 3.6B nanoGPT, 4 stages, 4 micro-batches.
 //! let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
-//!     .with_epochs(3);
+//!     .with_epochs(4);
 //!
-//! // Train alone, then train while harvesting bubbles with PageRank.
-//! let baseline = run_baseline(&pipeline);
-//! let run = run_colocation(
-//!     &pipeline,
-//!     &FreeRideConfig::iterative(),
-//!     &Submission::per_worker(WorkloadKind::PageRank, 4),
-//! );
+//! // A deployment is the middleware as a service: configure it, submit
+//! // side tasks (at any simulated time), run, inspect per-task outcomes.
+//! let mut deployment = Deployment::builder(pipeline)
+//!     .interface(InterfaceKind::Iterative)
+//!     .seed(0xF1EE)
+//!     .build();
 //!
-//! let report = evaluate(baseline, run.total_time, &run.work());
-//! assert!(report.time_increase < 0.02); // ~1% overhead
-//! assert!(report.cost_savings > 0.05);  // real savings
+//! // Two PageRank side tasks up front, plus one arriving mid-training —
+//! // Algorithm 1 places it on a still-idle worker and it starts
+//! // harvesting the bubbles that remain.
+//! for sub in Submission::per_worker(WorkloadKind::PageRank, 2) {
+//!     deployment.submit(sub).expect("fits bubble memory");
+//! }
+//! let late = deployment
+//!     .submit(Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(2_000)))
+//!     .expect("online arrivals share the same front door");
+//!
+//! let report = deployment.run();
+//! let cost = report.cost.expect("cost report enabled by default");
+//! assert!(cost.time_increase < 0.02); // ~1% overhead
+//! assert!(cost.cost_savings > 0.05);  // real savings
+//! assert!(late.steps().unwrap() > 0); // the online task did real work
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,8 +67,9 @@ pub use freeride_tasks as tasks;
 pub mod prelude {
     pub use freeride_core::{
         evaluate, run_baseline, run_colocation, time_increase, ColocationMode, ColocationRun,
-        CostReport, FreeRideConfig, InterfaceKind, Misbehavior, SideTaskManager, SideTaskState,
-        StopReason, Submission, TaskId, Transition,
+        CostReport, Deployment, DeploymentBuilder, DeploymentReport, FreeRideConfig, InterfaceKind,
+        Misbehavior, RejectedSubmission, SideTaskManager, SideTaskState, StopReason, Submission,
+        SubmitError, TaskHandle, TaskId, TaskSummary, Transition,
     };
     pub use freeride_gpu::{GpuDevice, GpuId, MemBytes, Priority};
     pub use freeride_pipeline::{
@@ -65,5 +77,7 @@ pub mod prelude {
         ScheduleKind,
     };
     pub use freeride_sim::{DetRng, SimDuration, SimTime, Simulation, World};
-    pub use freeride_tasks::{ServerSpec, SideTaskWorkload, WorkloadKind, WorkloadProfile};
+    pub use freeride_tasks::{
+        ServerSpec, SideTaskWorkload, WorkloadFactory, WorkloadKind, WorkloadProfile, WorkloadTag,
+    };
 }

@@ -71,6 +71,47 @@ fn epochs_are_identical_after_warmup() {
 }
 
 #[test]
+fn online_arrivals_are_deterministic_across_identical_runs() {
+    // Two deployments with identical seeds and identical arrival
+    // schedules (including mid-run arrivals and a custom workload) must
+    // produce identical reports, RPC jitter and all.
+    let p = pipeline();
+    let run = || {
+        let mut dep = Deployment::builder(p.clone())
+            .interface(InterfaceKind::Iterative)
+            .seed(42)
+            .cost_report(false)
+            .build();
+        dep.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        dep.submit(Submission::new(WorkloadKind::ResNet18).at(SimTime::from_millis(1_500)))
+            .unwrap();
+        dep.submit(
+            Submission::custom("ticker", MemBytes::from_gib(1), |seed| {
+                WorkloadKind::ImageProc.build(seed)
+            })
+            .at(SimTime::from_millis(6_000)),
+        )
+        .unwrap();
+        dep.run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.epoch_times, b.epoch_times);
+    assert_eq!(a.bubbles_reported, b.bubbles_reported);
+    assert_eq!(a.tasks.len(), b.tasks.len());
+    for (ta, tb) in a.tasks.iter().zip(&b.tasks) {
+        assert_eq!(ta.id, tb.id);
+        assert_eq!(ta.kind, tb.kind);
+        assert_eq!(ta.worker, tb.worker);
+        assert_eq!(ta.steps, tb.steps);
+        assert_eq!(ta.final_state, tb.final_state);
+        assert_eq!(ta.stop_reason, tb.stop_reason);
+        assert_eq!(ta.last_value, tb.last_value);
+    }
+}
+
+#[test]
 fn workload_computations_are_deterministic_end_to_end() {
     // Two identical runs must leave the real workloads in identical
     // states (steps → identical data streams).

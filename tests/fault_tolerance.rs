@@ -160,7 +160,32 @@ fn oversized_tasks_are_rejected_not_crashed() {
     let p = pipeline(3);
     let subs = vec![Submission::new(WorkloadKind::Vgg19).with_batch(256)];
     let run = run_colocation(&p, &FreeRideConfig::iterative(), &subs);
-    assert_eq!(run.rejected, vec![WorkloadKind::Vgg19]);
+
+    // The rejection keeps the whole submission and carries real numbers.
+    assert_eq!(run.rejected.len(), 1);
+    let rejected = &run.rejected[0];
+    assert_eq!(*rejected.submission.tag(), WorkloadKind::Vgg19);
+    assert_eq!(rejected.submission.batch(), 256);
+    let needed = WorkloadKind::Vgg19.profile_with_batch(256).gpu_mem;
+    let best = (0..p.stages)
+        .map(|st| p.stage_free_memory(st))
+        .max()
+        .unwrap();
+    assert_eq!(
+        rejected.error,
+        SubmitError::InsufficientMemory {
+            needed,
+            best_worker_free: best,
+        }
+    );
+    assert!(needed >= best, "rejection implies the task cannot fit");
+    // The error message names both quantities, not just "rejected".
+    let msg = rejected.error.to_string();
+    assert!(
+        msg.contains(&needed.to_string()) && msg.contains(&best.to_string()),
+        "rejection message must carry the numbers: {msg}"
+    );
+
     assert!(run.tasks.is_empty());
     // Training ran to completion regardless.
     assert_eq!(run.epoch_times.len(), 3);

@@ -3,11 +3,13 @@
 //! queue, and whole-pipeline termination for arbitrary shapes.
 
 use freeride::core::{
-    next_state, PlacementPolicy, SideTaskManager, SideTaskState, TaskId, Transition,
+    next_state, Deployment, FreeRideConfig, PlacementPolicy, SideTaskManager, SideTaskState,
+    Submission, TaskId, Transition,
 };
 use freeride::gpu::{MemBytes, MemoryPool};
 use freeride::pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
 use freeride::sim::{EventQueue, SimTime};
+use freeride::tasks::WorkloadKind;
 use proptest::prelude::*;
 
 proptest! {
@@ -185,6 +187,61 @@ proptest! {
             prop_assert_eq!(pool.used(), held_total);
             prop_assert!(pool.used() <= total);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Online arrivals are work-preserving: when memory never binds and
+    /// every task arrives before bubble serving begins (inside the
+    /// profiling epoch), any interleaving of arrival times yields the
+    /// same total work as the equivalent up-front batch. RPC jitter is
+    /// disabled so message latencies cannot depend on send order.
+    #[test]
+    fn arrival_interleaving_preserves_total_work(
+        arrivals_ms in prop::collection::vec(0u64..1500, 4),
+    ) {
+        let p = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(3);
+        let cfg = || {
+            let mut c = FreeRideConfig::iterative();
+            c.rpc_jitter = 0.0;
+            c
+        };
+
+        let mut batch = Deployment::builder(p.clone())
+            .config(cfg())
+            .cost_report(false)
+            .build();
+        for _ in 0..4 {
+            batch.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        }
+        let batch = batch.run();
+
+        let mut online = Deployment::builder(p)
+            .config(cfg())
+            .cost_report(false)
+            .build();
+        for ms in &arrivals_ms {
+            online
+                .submit(Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(*ms)))
+                .unwrap();
+        }
+        let online = online.run();
+
+        // Precondition: every arrival fell inside the profiling epoch,
+        // before the first serving bubble.
+        prop_assert!(
+            online.epoch_times[0] > freeride::sim::SimDuration::from_millis(2_000),
+            "profiling epoch shorter than the arrival window"
+        );
+        let batch_total: u64 = batch.tasks.iter().map(|t| t.steps).sum();
+        let online_total: u64 = online.tasks.iter().map(|t| t.steps).sum();
+        prop_assert_eq!(
+            batch_total, online_total,
+            "arrivals at {:?} ms changed total work", arrivals_ms
+        );
+        prop_assert_eq!(online.tasks.len(), 4);
     }
 }
 

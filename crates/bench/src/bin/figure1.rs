@@ -3,12 +3,12 @@
 //!
 //! Run: `cargo run --release -p freeride-bench --bin figure1`
 
-use freeride_bench::{epochs_from_args, header, main_pipeline};
+use freeride_bench::{header, main_pipeline, BenchArgs};
 use freeride_pipeline::{run_training, ScheduleKind};
 use freeride_sim::{SimDuration, SimTime};
 
 fn main() {
-    let cfg = main_pipeline(epochs_from_args().max(2));
+    let cfg = main_pipeline(BenchArgs::parse().epochs.max(2));
     let run = run_training(&cfg, ScheduleKind::OneFOneB);
 
     header("Figure 1(a): pipeline operations and GPU SM occupancy (one epoch)");

@@ -4,62 +4,44 @@
 //! (b) the MPS memory limit: a side task that keeps allocating past its
 //!     cap is terminated, releasing GPU memory; training is unaffected.
 //!
-//! Run: `cargo run --release -p freeride-bench --bin figure8`
+//! Run: `cargo run --release -p freeride-bench --bin figure8
+//! [--threads N]` — the three demonstration runs are independent and fan
+//! across threads; the epoch count is pinned (the demo's assertions
+//! depend on it) and output is identical for any thread count.
 
-use freeride_bench::{baseline_of, header, main_pipeline};
+use freeride_bench::{baseline_of, header, main_pipeline, BenchArgs};
 use freeride_core::{
-    run_colocation, time_increase, FreeRideConfig, Misbehavior, StopReason, Submission,
+    run_colocation, time_increase, ColocationRun, FreeRideConfig, Misbehavior, StopReason,
+    Submission,
 };
 use freeride_gpu::MemBytes;
 use freeride_sim::SimDuration;
 use freeride_tasks::WorkloadKind;
 
 fn main() {
+    let args = BenchArgs::parse();
     let pipeline = main_pipeline(6);
     let baseline = baseline_of(&pipeline);
 
-    header("Figure 8(a): framework-enforced execution-time limit");
-    // A ResNet18 task whose interface ignores PauseSideTask.
+    // The three demonstration runs are independent simulations; fan them
+    // out and print afterwards.
     let rogue =
-        vec![Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause)];
+        || vec![Submission::new(WorkloadKind::ResNet18).with_misbehavior(Misbehavior::IgnorePause)];
+    let job = |cfg: FreeRideConfig, subs: Vec<Submission>| {
+        let pipeline = pipeline.clone();
+        let cfg = args.configure(cfg);
+        move || run_colocation(&pipeline, &cfg, &subs)
+    };
 
-    // Without the limit (grace period effectively infinite): the task
-    // overlaps training after every bubble.
+    // (a) without the limit (grace period effectively infinite) vs with.
     let mut no_limit = FreeRideConfig::iterative();
     no_limit.grace_period = SimDuration::from_secs(3600);
-    let run = run_colocation(&pipeline, &no_limit, &rogue);
-    let i_no_limit = time_increase(baseline, run.total_time);
-    println!(
-        "without limit: task end state {:?} after {} steps, training +{:.1}%",
-        run.tasks[0].stop_reason,
-        run.tasks[0].steps,
-        i_no_limit * 100.0
-    );
-
-    // With the limit: killed via SIGKILL after the 500ms grace period.
-    let with_limit = FreeRideConfig::iterative();
-    let run = run_colocation(&pipeline, &with_limit, &rogue);
-    let i_with_limit = time_increase(baseline, run.total_time);
-    println!(
-        "with limit:    task end state {:?} after {} steps, training +{:.1}%",
-        run.tasks[0].stop_reason,
-        run.tasks[0].steps,
-        i_with_limit * 100.0
-    );
-    assert_eq!(run.tasks[0].stop_reason, StopReason::KilledGrace);
-    assert!(
-        i_with_limit < i_no_limit,
-        "the kill must bound the overhead"
-    );
-    println!("  (paper: the worker terminates the side task after a grace period)");
-
-    header("Figure 8(b): side task GPU memory limit");
-    // A task that leaks 1 GiB per step against its ~8 GiB cap. Three
+    // (b) a task that leaks 1 GiB per step against its ~8 GiB cap. Three
     // healthy PageRank tasks occupy workers 0-2 so the leaky task lands on
     // stage 3, whose bubbles have plenty of physical memory — the *cap*,
     // not device exhaustion, must stop it (the paper's 8 GB demo).
-    let mut cfg = FreeRideConfig::iterative();
-    cfg.mem_cap_headroom = MemBytes::from_gib_f64(8.0 - 2.63);
+    let mut leak_cfg = FreeRideConfig::iterative();
+    leak_cfg.mem_cap_headroom = MemBytes::from_gib_f64(8.0 - 2.63);
     let mut leaky: Vec<Submission> = (0..3)
         .map(|_| Submission::new(WorkloadKind::PageRank))
         .collect();
@@ -68,7 +50,42 @@ fn main() {
             per_step: MemBytes::from_gib(1),
         }),
     );
-    let run = run_colocation(&pipeline, &cfg, &leaky);
+
+    let mut runs: Vec<ColocationRun> = args.sweep().run(vec![
+        job(no_limit, rogue()),
+        job(FreeRideConfig::iterative(), rogue()),
+        job(leak_cfg, leaky),
+    ]);
+    let leak_run = runs.pop().expect("three runs");
+    let with_limit_run = runs.pop().expect("three runs");
+    let no_limit_run = runs.pop().expect("three runs");
+
+    header("Figure 8(a): framework-enforced execution-time limit");
+    let i_no_limit = time_increase(baseline, no_limit_run.total_time);
+    println!(
+        "without limit: task end state {:?} after {} steps, training +{:.1}%",
+        no_limit_run.tasks[0].stop_reason,
+        no_limit_run.tasks[0].steps,
+        i_no_limit * 100.0
+    );
+
+    // With the limit: killed via SIGKILL after the 500ms grace period.
+    let i_with_limit = time_increase(baseline, with_limit_run.total_time);
+    println!(
+        "with limit:    task end state {:?} after {} steps, training +{:.1}%",
+        with_limit_run.tasks[0].stop_reason,
+        with_limit_run.tasks[0].steps,
+        i_with_limit * 100.0
+    );
+    assert_eq!(with_limit_run.tasks[0].stop_reason, StopReason::KilledGrace);
+    assert!(
+        i_with_limit < i_no_limit,
+        "the kill must bound the overhead"
+    );
+    println!("  (paper: the worker terminates the side task after a grace period)");
+
+    header("Figure 8(b): side task GPU memory limit");
+    let run = leak_run;
     let task = run
         .tasks
         .iter()

@@ -4,15 +4,18 @@
 //! another step ("No side task: insufficient time"), and bubbles no task
 //! fits into ("No side task: OOM").
 //!
-//! Run: `cargo run --release -p freeride-bench --bin figure9 [epochs]`
+//! Run: `cargo run --release -p freeride-bench --bin figure9
+//! [epochs] [--threads N]` — one simulation per row, fanned across
+//! threads; output is identical for any thread count.
 
-use freeride_bench::{epochs_from_args, header, main_pipeline};
+use freeride_bench::{header, main_pipeline, BenchArgs};
 use freeride_core::{run_colocation, FreeRideConfig, Submission};
 use freeride_tasks::WorkloadKind;
 
 fn main() {
-    let pipeline = main_pipeline(epochs_from_args());
-    let cfg = FreeRideConfig::iterative();
+    let args = BenchArgs::parse();
+    let pipeline = main_pipeline(args.epochs);
+    let cfg = args.configure(FreeRideConfig::iterative());
 
     header("Figure 9: bubble time breakdown (iterative interface)");
     println!(
@@ -26,17 +29,27 @@ fn main() {
         .collect();
     rows.push(("Mixed".to_string(), Submission::mixed()));
 
-    for (name, subs) in rows {
-        let run = run_colocation(&pipeline, &cfg, &subs);
-        let f = run.breakdown.fractions();
-        println!(
-            "{:<10} {:>8.1}% {:>11.1}% {:>13.1}% {:>9.1}%",
-            name,
-            f.running * 100.0,
-            f.runtime * 100.0,
-            f.insufficient * 100.0,
-            f.unused_oom * 100.0
-        );
+    let jobs: Vec<_> = rows
+        .into_iter()
+        .map(|(name, subs)| {
+            let pipeline = pipeline.clone();
+            let cfg = cfg.clone();
+            move || {
+                let run = run_colocation(&pipeline, &cfg, &subs);
+                let f = run.breakdown.fractions();
+                format!(
+                    "{:<10} {:>8.1}% {:>11.1}% {:>13.1}% {:>9.1}%",
+                    name,
+                    f.running * 100.0,
+                    f.runtime * 100.0,
+                    f.insufficient * 100.0,
+                    f.unused_oom * 100.0
+                )
+            }
+        })
+        .collect();
+    for row in args.sweep().run(jobs) {
+        println!("{row}");
     }
     println!();
     println!("  (paper: most bubble time with enough memory is used; VGG19 and");

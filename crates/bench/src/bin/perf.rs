@@ -1,0 +1,132 @@
+//! `perf` — the tracked performance baseline of the reproduction.
+//!
+//! Runs a standard workload twice over:
+//!
+//! 1. **Single run** — one full co-location simulation, reporting
+//!    wall-clock and simulation events/sec (the hot-path metric);
+//! 2. **Standard sweep** — the Table-1 six-workload sweep plus the four
+//!    Table-2 mixed-workload methods (10 independent simulations), first
+//!    sequentially (`threads = 1`), then fanned across the configured
+//!    thread count, reporting the wall-clock speedup (the parallel-executor
+//!    metric).
+//!
+//! Results are printed and written to `BENCH.json` in the current
+//! directory so every PR leaves a perf trajectory to regress against
+//! (CI's non-gating perf-smoke step uploads the file as an artifact).
+//!
+//! Run: `cargo run --release -p freeride-bench --bin perf
+//! [epochs] [--threads N]`
+
+use freeride_bench::{all_methods, default_threads, main_pipeline, BenchArgs, SweepRunner};
+use freeride_core::{run_colocation, ColocationRun, FreeRideConfig, Submission};
+use freeride_tasks::WorkloadKind;
+use std::time::Instant;
+
+/// One measurement of the single-run hot path.
+struct SingleRun {
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+fn single_run(args: &BenchArgs) -> SingleRun {
+    let pipeline = main_pipeline(args.epochs);
+    let cfg = args.configure(FreeRideConfig::iterative());
+    let subs = Submission::per_worker(WorkloadKind::PageRank, 4);
+    // One warm-up, then the measured run.
+    let _ = run_colocation(&pipeline, &cfg, &subs);
+    let start = Instant::now();
+    let run = run_colocation(&pipeline, &cfg, &subs);
+    let wall_s = start.elapsed().as_secs_f64();
+    SingleRun {
+        wall_s,
+        events: run.events_processed,
+        events_per_sec: run.events_processed as f64 / wall_s,
+    }
+}
+
+/// The standard sweep: one closure per independent simulation.
+fn sweep_jobs(args: &BenchArgs) -> Vec<Box<dyn FnOnce() -> ColocationRun + Send>> {
+    let pipeline = main_pipeline(args.epochs);
+    let mut jobs: Vec<Box<dyn FnOnce() -> ColocationRun + Send>> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let pipeline = pipeline.clone();
+        let cfg = args.configure(FreeRideConfig::iterative());
+        jobs.push(Box::new(move || {
+            run_colocation(&pipeline, &cfg, &Submission::per_worker(kind, 4))
+        }));
+    }
+    for (_, cfg) in all_methods() {
+        let pipeline = pipeline.clone();
+        let cfg = args.configure(cfg);
+        jobs.push(Box::new(move || {
+            run_colocation(&pipeline, &cfg, &Submission::mixed())
+        }));
+    }
+    jobs
+}
+
+fn timed_sweep(runner: SweepRunner, args: &BenchArgs) -> (f64, u64) {
+    let jobs = sweep_jobs(args);
+    let start = Instant::now();
+    let runs = runner.run(jobs);
+    let wall = start.elapsed().as_secs_f64();
+    let events: u64 = runs.iter().map(|r| r.events_processed).sum();
+    (wall, events)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cores = default_threads();
+    println!(
+        "FreeRide perf baseline: epochs={}, threads={}, cores={}",
+        args.epochs, args.threads, cores
+    );
+
+    println!("-- single run (PageRank x4, iterative) --");
+    let single = single_run(&args);
+    println!(
+        "wall {:.3}s, {} events, {:.0} events/sec",
+        single.wall_s, single.events, single.events_per_sec
+    );
+
+    println!("-- standard sweep (10 runs: table1 workloads + table2 mixed methods) --");
+    let (seq_s, seq_events) = timed_sweep(SweepRunner::new(1), &args);
+    println!("sequential: {seq_s:.3}s ({seq_events} events)");
+    let (par_s, par_events) = timed_sweep(args.sweep(), &args);
+    assert_eq!(
+        seq_events, par_events,
+        "parallel sweep must process identical event streams"
+    );
+    let speedup = seq_s / par_s;
+    println!(
+        "parallel ({} threads): {par_s:.3}s, speedup {speedup:.2}x",
+        args.sweep().threads()
+    );
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \
+         \"bench_version\": 1,\n  \
+         \"unix_time\": {unix_time},\n  \
+         \"host\": {{ \"cores\": {cores} }},\n  \
+         \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10 }},\n  \
+         \"single_run\": {{ \"wall_s\": {sw:.4}, \"events\": {se}, \"events_per_sec\": {seps:.0} }},\n  \
+         \"sweep\": {{ \"sequential_s\": {qs:.4}, \"parallel_s\": {ps:.4}, \"speedup\": {sp:.3}, \"events\": {ev} }}\n\
+         }}\n",
+        epochs = args.epochs,
+        threads = args.sweep().threads(),
+        sw = single.wall_s,
+        se = single.events,
+        seps = single.events_per_sec,
+        qs = seq_s,
+        ps = par_s,
+        sp = speedup,
+        ev = seq_events,
+    );
+    std::fs::write("BENCH.json", &json).expect("write BENCH.json");
+    println!("wrote BENCH.json");
+}

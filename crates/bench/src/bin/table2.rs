@@ -3,17 +3,20 @@
 //! (iterative, imperative) and the two baselines (MPS, naive co-location),
 //! for each of the six workloads and the mixed workload.
 //!
-//! Run: `cargo run --release -p freeride-bench --bin table2 [epochs]`
+//! Run: `cargo run --release -p freeride-bench --bin table2
+//! [epochs] [--threads N]` — 28 independent simulations, fanned across
+//! threads; output is identical for any thread count.
 
 use freeride_bench::{
-    all_methods, baseline_of, epochs_from_args, eval_method, header, main_pipeline, paper_table2,
-    paper_table2_mixed,
+    all_methods, baseline_of, eval_method, header, main_pipeline, paper_table2, paper_table2_mixed,
+    BenchArgs,
 };
 use freeride_core::Submission;
 use freeride_tasks::WorkloadKind;
 
 fn main() {
-    let pipeline = main_pipeline(epochs_from_args());
+    let args = BenchArgs::parse();
+    let pipeline = main_pipeline(args.epochs);
     let baseline = baseline_of(&pipeline);
 
     header("Table 2: time increase I and cost savings S");
@@ -22,46 +25,72 @@ fn main() {
         "Side task", "method", "I%", "paper I%", "S%", "paper S%"
     );
 
+    // One job per (workload, method) cell, fanned across threads; rows
+    // print in the table's order afterwards.
+    let jobs: Vec<_> = WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|kind| all_methods().into_iter().map(move |m| (kind, m)))
+        .map(|(kind, (name, cfg))| {
+            let pipeline = pipeline.clone();
+            let cfg = args.configure(cfg);
+            move || {
+                let row = eval_method(
+                    &pipeline,
+                    name,
+                    &cfg,
+                    &Submission::per_worker(kind, 4),
+                    baseline,
+                );
+                (kind, name, row.report)
+            }
+        })
+        .collect();
+    let cells = args.sweep().run(jobs);
+
     let mut iter_i = Vec::new();
     let mut iter_s = Vec::new();
-    for kind in WorkloadKind::ALL {
-        for (name, cfg) in all_methods() {
-            let row = eval_method(
-                &pipeline,
-                name,
-                &cfg,
-                &Submission::per_worker(kind, 4),
-                baseline,
-            );
-            let (pi, ps) = paper_table2(kind, name).expect("paper cell");
-            if name == "FreeRide-Iterative" {
-                iter_i.push(row.report.time_increase);
-                iter_s.push(row.report.cost_savings);
-            }
-            println!(
-                "{:<10} {:<20} {:>7.1} {:>9.1} {:>8.1} {:>9.1}",
-                kind.name(),
-                name,
-                row.report.time_increase * 100.0,
-                pi,
-                row.report.cost_savings * 100.0,
-                ps
-            );
+    let methods_per_kind = all_methods().len();
+    for (i, (kind, name, report)) in cells.into_iter().enumerate() {
+        let (pi, ps) = paper_table2(kind, name).expect("paper cell");
+        if name == "FreeRide-Iterative" {
+            iter_i.push(report.time_increase);
+            iter_s.push(report.cost_savings);
         }
-        println!();
+        println!(
+            "{:<10} {:<20} {:>7.1} {:>9.1} {:>8.1} {:>9.1}",
+            kind.name(),
+            name,
+            report.time_increase * 100.0,
+            pi,
+            report.cost_savings * 100.0,
+            ps
+        );
+        if (i + 1) % methods_per_kind == 0 {
+            println!();
+        }
     }
 
     header("Mixed workload (PageRank, ResNet18, Image, VGG19 - one per worker)");
-    for (name, cfg) in all_methods() {
-        let row = eval_method(&pipeline, name, &cfg, &Submission::mixed(), baseline);
+    let jobs: Vec<_> = all_methods()
+        .into_iter()
+        .map(|(name, cfg)| {
+            let pipeline = pipeline.clone();
+            let cfg = args.configure(cfg);
+            move || {
+                let row = eval_method(&pipeline, name, &cfg, &Submission::mixed(), baseline);
+                (name, row.report)
+            }
+        })
+        .collect();
+    for (name, report) in args.sweep().run(jobs) {
         let (pi, ps) = paper_table2_mixed(name).expect("paper cell");
         println!(
             "{:<10} {:<20} {:>7.1} {:>9.1} {:>8.1} {:>9.1}",
             "Mixed",
             name,
-            row.report.time_increase * 100.0,
+            report.time_increase * 100.0,
             pi,
-            row.report.cost_savings * 100.0,
+            report.cost_savings * 100.0,
             ps
         );
     }

@@ -22,6 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
+pub use sweep::{default_threads, SweepRunner};
+
 use freeride_core::{
     evaluate, run_baseline, run_colocation, ColocationRun, CostReport, FreeRideConfig, Submission,
 };
@@ -35,12 +39,120 @@ use freeride_tasks::WorkloadKind;
 /// epoch count as `argv[1]` to override.
 pub const DEFAULT_EPOCHS: usize = 17;
 
+/// Command-line arguments shared by every experiment binary.
+///
+/// All eight bins (and the `perf` bin) accept the same small surface
+/// instead of each parsing `argv` its own way:
+///
+/// * `[epochs]` — positional, or `--epochs N`: epochs per simulated run
+///   (default [`DEFAULT_EPOCHS`]);
+/// * `--threads N` — sweep fan-out; also readable from the `FR_THREADS`
+///   environment variable (flag wins); default = available parallelism;
+/// * `--seed N` — overrides the root seed of every `FreeRideConfig` the
+///   binary constructs (default: the config's own seed, preserving
+///   historical output byte-for-byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Epochs per simulated training run.
+    pub epochs: usize,
+    /// Sweep thread count.
+    pub threads: usize,
+    /// Root-seed override for constructed configs.
+    pub seed: Option<u64>,
+}
+
+impl BenchArgs {
+    /// Parses the process's arguments and environment.
+    pub fn parse() -> Self {
+        let env_threads = std::env::var("FR_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok());
+        Self::from_iter(std::env::args().skip(1), env_threads)
+    }
+
+    /// Parses from an explicit argument stream (testable form).
+    /// `env_threads` models `FR_THREADS`; an explicit `--threads` wins.
+    pub fn from_iter(args: impl Iterator<Item = String>, env_threads: Option<usize>) -> Self {
+        let mut out = BenchArgs {
+            epochs: DEFAULT_EPOCHS,
+            threads: env_threads.unwrap_or_else(default_threads),
+            seed: None,
+        };
+        // A missing or unparseable flag value falls back to the default,
+        // but never silently: a typo like `--threads 1O` must not quietly
+        // change how a comparison run executes.
+        fn take_num(
+            flag: &str,
+            iter: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+        ) -> Option<u64> {
+            match iter.peek().map(|s| s.parse()) {
+                Some(Ok(v)) => {
+                    iter.next();
+                    Some(v)
+                }
+                Some(Err(_)) => {
+                    // Leave the bad token in the stream: it may be the
+                    // next flag rather than a value.
+                    eprintln!(
+                        "warning: ignoring {flag} {:?} (not a number); using default",
+                        iter.peek().expect("peeked")
+                    );
+                    None
+                }
+                None => {
+                    eprintln!("warning: {flag} given without a value; using default");
+                    None
+                }
+            }
+        }
+        let mut iter = args.peekable();
+        let mut saw_positional = false;
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--epochs" => {
+                    if let Some(v) = take_num("--epochs", &mut iter) {
+                        out.epochs = v as usize;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = take_num("--threads", &mut iter) {
+                        out.threads = v as usize;
+                    }
+                }
+                "--seed" => out.seed = take_num("--seed", &mut iter),
+                other => {
+                    if !saw_positional {
+                        if let Ok(e) = other.parse::<usize>() {
+                            out.epochs = e;
+                            saw_positional = true;
+                        }
+                    }
+                }
+            }
+        }
+        out.threads = out.threads.max(1);
+        out
+    }
+
+    /// A sweep runner with this argument set's thread count.
+    pub fn sweep(&self) -> SweepRunner {
+        SweepRunner::new(self.threads)
+    }
+
+    /// Applies the `--seed` override (if any) to a constructed config.
+    pub fn configure(&self, mut cfg: FreeRideConfig) -> FreeRideConfig {
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        cfg
+    }
+}
+
 /// Parses `argv[1]` as an epoch count, defaulting to [`DEFAULT_EPOCHS`].
+///
+/// Thin compatibility wrapper over [`BenchArgs::parse`].
 pub fn epochs_from_args() -> usize {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_EPOCHS)
+    BenchArgs::parse().epochs
 }
 
 /// The paper's main pipeline setup (3.6B, 4 stages, 4 micro-batches).
@@ -181,6 +293,51 @@ mod tests {
         assert_eq!(pct(0.011), "+1.1%");
         assert_eq!(pct(-0.307), "-30.7%");
         assert!(vs_paper(0.011, 0.009).contains("paper"));
+    }
+
+    fn parse(args: &[&str], env_threads: Option<usize>) -> BenchArgs {
+        BenchArgs::from_iter(args.iter().map(|s| s.to_string()), env_threads)
+    }
+
+    #[test]
+    fn bench_args_defaults() {
+        let a = parse(&[], None);
+        assert_eq!(a.epochs, DEFAULT_EPOCHS);
+        assert_eq!(a.threads, default_threads());
+        assert_eq!(a.seed, None);
+    }
+
+    #[test]
+    fn bench_args_positional_epochs_stays_compatible() {
+        assert_eq!(parse(&["5"], None).epochs, 5);
+        // Junk positional falls back to the default, as before.
+        assert_eq!(parse(&["nope"], None).epochs, DEFAULT_EPOCHS);
+    }
+
+    #[test]
+    fn bench_args_flags() {
+        let a = parse(&["--epochs", "9", "--threads", "3", "--seed", "42"], None);
+        assert_eq!(a.epochs, 9);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.seed, Some(42));
+        assert_eq!(a.sweep().threads(), 3);
+    }
+
+    #[test]
+    fn bench_args_env_threads_yields_to_flag() {
+        assert_eq!(parse(&[], Some(6)).threads, 6);
+        assert_eq!(parse(&["--threads", "2"], Some(6)).threads, 2);
+        // Zero clamps to one.
+        assert_eq!(parse(&["--threads", "0"], None).threads, 1);
+    }
+
+    #[test]
+    fn bench_args_seed_overrides_config() {
+        let a = parse(&["--seed", "123"], None);
+        assert_eq!(a.configure(FreeRideConfig::iterative()).seed, 123);
+        let none = parse(&[], None);
+        let base = FreeRideConfig::iterative();
+        assert_eq!(none.configure(base.clone()).seed, base.seed);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use freeride_sim::{SimDuration, SimTime, TraceRecorder};
 use freeride_tasks::{
     SideTaskWorkload, WorkloadFactory, WorkloadKind, WorkloadProfile, WorkloadTag, DEFAULT_BATCH,
 };
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// Default per-step duration assumed for custom workloads until the
@@ -94,7 +95,7 @@ impl Submission {
     /// The profile defaults to a 10 ms step with mid-band interference
     /// characteristics; refine it with [`Submission::with_step_time`] or
     /// [`Submission::with_profile`].
-    pub fn custom<F>(name: impl Into<String>, gpu_mem: MemBytes, build: F) -> Self
+    pub fn custom<F>(name: impl Into<Arc<str>>, gpu_mem: MemBytes, build: F) -> Self
     where
         F: Fn(u64) -> Box<dyn SideTaskWorkload> + Send + Sync + 'static,
     {
@@ -517,17 +518,25 @@ impl Deployment {
         self.cfg.validate();
         let outcome = execute(&self.pipeline, &self.cfg, &self.accepted);
 
+        // Id-indexed lookups: one map build instead of a linear scan per
+        // accepted submission (sweeps submit hundreds of tasks).
+        let by_id: BTreeMap<TaskId, &TaskSummary> =
+            outcome.tasks.iter().map(|t| (t.id, t)).collect();
         for acc in &self.accepted {
-            if let Some(summary) = outcome.tasks.iter().find(|t| t.id == acc.id) {
-                let _ = acc.outcome.set(summary.clone());
+            if let Some(summary) = by_id.get(&acc.id) {
+                let _ = acc.outcome.set((*summary).clone());
             }
         }
-        for (id, error) in outcome.late_rejected {
-            if let Some(acc) = self.accepted.iter().find(|a| a.id == id) {
-                self.rejected.push(RejectedSubmission {
-                    submission: acc.submission.clone(),
-                    error,
-                });
+        if !outcome.late_rejected.is_empty() {
+            let accepted_by_id: BTreeMap<TaskId, &AcceptedSubmission> =
+                self.accepted.iter().map(|a| (a.id, a)).collect();
+            for (id, error) in outcome.late_rejected {
+                if let Some(acc) = accepted_by_id.get(&id) {
+                    self.rejected.push(RejectedSubmission {
+                        submission: acc.submission.clone(),
+                        error,
+                    });
+                }
             }
         }
 
@@ -555,6 +564,7 @@ impl Deployment {
             breakdown: outcome.breakdown,
             trace: outcome.trace,
             bubbles_reported: outcome.bubbles_reported,
+            events_processed: outcome.events_processed,
             baseline_time,
             cost,
         }
@@ -582,6 +592,10 @@ pub struct DeploymentReport {
     pub trace: TraceRecorder,
     /// Bubble reports delivered to the manager.
     pub bubbles_reported: u64,
+    /// Discrete events the simulation delivered for this run; divide by
+    /// wall-clock to get the events/sec throughput tracked in
+    /// `BENCH.json`.
+    pub events_processed: u64,
     /// `T_noSideTask` under the same pipeline and schedule, when the cost
     /// report was enabled.
     pub baseline_time: Option<SimDuration>,
@@ -624,6 +638,7 @@ impl From<DeploymentReport> for ColocationRun {
             breakdown: report.breakdown,
             trace: report.trace,
             bubbles_reported: report.bubbles_reported,
+            events_processed: report.events_processed,
         }
     }
 }

@@ -301,8 +301,20 @@ impl SideTaskManager {
 
     /// **Algorithm 2** — one iteration of the management loop. Returns the
     /// state-transition RPCs to issue.
+    ///
+    /// Allocates a fresh vector per call; the orchestrator's management
+    /// tick uses [`SideTaskManager::poll_into`] with a reused buffer
+    /// instead.
     pub fn poll(&mut self, now: SimTime) -> Vec<ManagerCmd> {
         let mut cmds = Vec::new();
+        self.poll_into(now, &mut cmds);
+        cmds
+    }
+
+    /// **Algorithm 2**, buffer form: appends the state-transition RPCs to
+    /// issue onto `cmds` (which the caller typically clears and reuses
+    /// across ticks, keeping the management loop allocation-free).
+    pub fn poll_into(&mut self, now: SimTime, cmds: &mut Vec<ManagerCmd>) {
         for wi in 0..self.workers.len() {
             let w = &mut self.workers[wi];
 
@@ -377,7 +389,6 @@ impl SideTaskManager {
                 _ => {}
             }
         }
-        cmds
     }
 
     /// Issues `Stop` for every live task (end of pipeline training).

@@ -77,6 +77,10 @@ pub struct ColocationRun {
     pub trace: TraceRecorder,
     /// Bubble reports delivered to the manager.
     pub bubbles_reported: u64,
+    /// Discrete events the simulation delivered for this run — the
+    /// denominator-free half of the events/sec throughput metric tracked
+    /// in `BENCH.json`.
+    pub events_processed: u64,
 }
 
 impl ColocationRun {
@@ -171,6 +175,10 @@ struct OrchestratorWorld {
     bubbles_reported: u64,
     training_done: bool,
     stops_issued: bool,
+    /// Reusable buffer for manager poll commands; the management tick
+    /// fires on every bubble, ack, and poll interval, so it must not
+    /// allocate.
+    cmd_buf: Vec<ManagerCmd>,
 }
 
 impl OrchestratorWorld {
@@ -303,11 +311,14 @@ impl OrchestratorWorld {
         if !self.is_freeride() {
             return;
         }
-        let cmds = self.manager.poll(now);
-        for cmd in cmds {
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        cmds.clear();
+        self.manager.poll_into(now, &mut cmds);
+        for cmd in cmds.drain(..) {
             let to = self.ep_workers[cmd_worker(&cmd)];
             self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
         }
+        self.cmd_buf = cmds;
     }
 
     fn handle_arrival(&mut self, now: SimTime, idx: usize, s: &mut Scheduler<'_, Ev>) {
@@ -558,6 +569,7 @@ pub(crate) struct ExecutionOutput {
     pub(crate) trace: TraceRecorder,
     pub(crate) bubbles_reported: u64,
     pub(crate) late_rejected: Vec<(TaskId, SubmitError)>,
+    pub(crate) events_processed: u64,
 }
 
 /// Runs pipeline training co-located with the accepted submissions under
@@ -689,6 +701,7 @@ pub(crate) fn execute(
         bubbles_reported: 0,
         training_done: false,
         stops_issued: false,
+        cmd_buf: Vec::new(),
         interface,
         cfg: fr_cfg.clone(),
     };
@@ -731,6 +744,7 @@ pub(crate) fn execute(
 
     let outcome = sim.run_to_quiescence();
     assert_eq!(outcome, RunOutcome::Quiescent, "run must drain");
+    let events_processed = sim.events_processed();
     let world = sim.into_world();
     assert!(world.engine.is_done(), "training must complete");
     assert!(world.finished(), "all tasks must stop");
@@ -782,6 +796,7 @@ pub(crate) fn execute(
         trace: world.trace,
         bubbles_reported: world.bubbles_reported,
         late_rejected: world.late_rejected,
+        events_processed,
     }
 }
 

@@ -139,6 +139,10 @@ pub struct GpuDevice {
     last_advance: SimTime,
     next_pid: u64,
     next_kid: u64,
+    /// Scratch buffers reused across [`GpuDevice::recompute_speeds`] calls
+    /// (one call per launch/completion/kill — the fluid model's hot path).
+    ctx_buf: Vec<KernelCtx>,
+    speed_buf: Vec<f64>,
 }
 
 impl GpuDevice {
@@ -154,6 +158,8 @@ impl GpuDevice {
             last_advance: SimTime::ZERO,
             next_pid: 0,
             next_kid: 0,
+            ctx_buf: Vec::new(),
+            speed_buf: Vec::new(),
         }
     }
 
@@ -359,7 +365,9 @@ impl GpuDevice {
             self.last_advance,
             now
         );
-        let mut completions = Vec::new();
+        // Nearly every call delivers at least one completion (callers wake
+        // at `next_completion_time`), so size for the common small batch.
+        let mut completions = Vec::with_capacity(2);
         while let Some(boundary) = self.next_completion_time() {
             if boundary > now {
                 break;
@@ -449,18 +457,16 @@ impl GpuDevice {
         if self.active.is_empty() {
             return;
         }
-        let ctxs: Vec<KernelCtx> = self
-            .active
-            .iter()
-            .map(|k| KernelCtx {
-                priority: k.priority,
-                sm_demand: k.sm_demand,
-                intensity: k.intensity,
-            })
-            .collect();
-        let speeds = self.model.speeds(&ctxs);
-        debug_assert_eq!(speeds.len(), self.active.len());
-        for (k, s) in self.active.iter_mut().zip(speeds) {
+        self.ctx_buf.clear();
+        self.ctx_buf.extend(self.active.iter().map(|k| KernelCtx {
+            priority: k.priority,
+            sm_demand: k.sm_demand,
+            intensity: k.intensity,
+        }));
+        self.speed_buf.clear();
+        self.model.speeds_into(&self.ctx_buf, &mut self.speed_buf);
+        debug_assert_eq!(self.speed_buf.len(), self.active.len());
+        for (k, &s) in self.active.iter_mut().zip(&self.speed_buf) {
             debug_assert!(s > 0.0 && s <= 1.0, "model produced speed {s}");
             k.speed = s;
         }

@@ -35,8 +35,21 @@ pub struct KernelCtx {
 
 /// Computes per-kernel execution speeds for a set of co-running kernels.
 pub trait InterferenceModel: Send {
+    /// Appends one speed in `(0, 1]` per kernel in `kernels`, same order,
+    /// to `out`. The device calls this on every active-set change with a
+    /// reused buffer, so implementations must not assume `out` starts
+    /// empty beyond what they append.
+    fn speeds_into(&self, kernels: &[KernelCtx], out: &mut Vec<f64>);
+
     /// Returns one speed in `(0, 1]` per kernel in `kernels`, same order.
-    fn speeds(&self, kernels: &[KernelCtx]) -> Vec<f64>;
+    ///
+    /// Convenience wrapper over [`InterferenceModel::speeds_into`] that
+    /// allocates a fresh vector; prefer the buffer form on hot paths.
+    fn speeds(&self, kernels: &[KernelCtx]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(kernels.len());
+        self.speeds_into(kernels, &mut out);
+        out
+    }
 
     /// Human-readable name for traces and experiment output.
     fn name(&self) -> &'static str;
@@ -67,7 +80,7 @@ impl Default for MpsPrioritized {
 }
 
 impl InterferenceModel for MpsPrioritized {
-    fn speeds(&self, kernels: &[KernelCtx]) -> Vec<f64> {
+    fn speeds_into(&self, kernels: &[KernelCtx], out: &mut Vec<f64>) {
         let high_demand: f64 = kernels
             .iter()
             .filter(|k| k.priority == Priority::High)
@@ -83,40 +96,37 @@ impl InterferenceModel for MpsPrioritized {
             .filter(|k| k.priority == Priority::Low)
             .count() as f64;
 
-        kernels
-            .iter()
-            .map(|k| match k.priority {
-                Priority::High => 1.0 / (1.0 + self.alpha * low_pressure),
-                Priority::Low => {
-                    if high_demand <= 0.0 {
-                        // Bubbles: low-priority kernels share the device
-                        // proportionally if they oversubscribe it.
-                        let total_low: f64 = kernels
-                            .iter()
-                            .filter(|k| k.priority == Priority::Low)
-                            .map(|k| k.sm_demand)
-                            .sum();
-                        if total_low > 1.0 {
-                            (1.0 / total_low).max(MIN_SPEED)
-                        } else {
-                            1.0
-                        }
+        out.extend(kernels.iter().map(|k| match k.priority {
+            Priority::High => 1.0 / (1.0 + self.alpha * low_pressure),
+            Priority::Low => {
+                if high_demand <= 0.0 {
+                    // Bubbles: low-priority kernels share the device
+                    // proportionally if they oversubscribe it.
+                    let total_low: f64 = kernels
+                        .iter()
+                        .filter(|k| k.priority == Priority::Low)
+                        .map(|k| k.sm_demand)
+                        .sum();
+                    if total_low > 1.0 {
+                        (1.0 / total_low).max(MIN_SPEED)
                     } else {
-                        // Training active: MPS co-runs the kernels. How
-                        // much progress the side kernel makes depends on
-                        // how aggressively it grabs SMs: ordinary kernels
-                        // yield to the high-priority client and keep only
-                        // about half their contention share, while
-                        // compute-saturating kernels (intensity ≫ 1, the
-                        // Graph SGD class) hold their SMs — which is
-                        // exactly why they degrade training so badly.
-                        let share = 1.0 / (1.0 + high_demand);
-                        let grip = 0.5 * k.intensity.max(1.0);
-                        ((share * grip).min(1.0) / low_count.max(1.0)).max(MIN_SPEED)
+                        1.0
                     }
+                } else {
+                    // Training active: MPS co-runs the kernels. How
+                    // much progress the side kernel makes depends on
+                    // how aggressively it grabs SMs: ordinary kernels
+                    // yield to the high-priority client and keep only
+                    // about half their contention share, while
+                    // compute-saturating kernels (intensity ≫ 1, the
+                    // Graph SGD class) hold their SMs — which is
+                    // exactly why they degrade training so badly.
+                    let share = 1.0 / (1.0 + high_demand);
+                    let grip = 0.5 * k.intensity.max(1.0);
+                    ((share * grip).min(1.0) / low_count.max(1.0)).max(MIN_SPEED)
                 }
-            })
-            .collect()
+            }
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -134,27 +144,24 @@ impl InterferenceModel for MpsPrioritized {
 pub struct TimeSliced;
 
 impl InterferenceModel for TimeSliced {
-    fn speeds(&self, kernels: &[KernelCtx]) -> Vec<f64> {
+    fn speeds_into(&self, kernels: &[KernelCtx], out: &mut Vec<f64>) {
         let total: f64 = kernels.iter().map(|k| k.sm_demand).sum();
-        kernels
-            .iter()
-            .map(|k| {
-                if total <= 1.0 {
-                    return 1.0;
+        out.extend(kernels.iter().map(|k| {
+            if total <= 1.0 {
+                return 1.0;
+            }
+            let base = 1.0 / total;
+            match k.priority {
+                Priority::High => base.max(MIN_SPEED),
+                // The driver's context switches waste a large part of
+                // the side process's slice; compute-saturating kernels
+                // amortise the switches better.
+                Priority::Low => {
+                    let grip = (0.5 * k.intensity.max(1.0).sqrt()).min(1.0);
+                    (base * grip).max(MIN_SPEED)
                 }
-                let base = 1.0 / total;
-                match k.priority {
-                    Priority::High => base.max(MIN_SPEED),
-                    // The driver's context switches waste a large part of
-                    // the side process's slice; compute-saturating kernels
-                    // amortise the switches better.
-                    Priority::Low => {
-                        let grip = (0.5 * k.intensity.max(1.0).sqrt()).min(1.0);
-                        (base * grip).max(MIN_SPEED)
-                    }
-                }
-            })
-            .collect()
+            }
+        }));
     }
 
     fn name(&self) -> &'static str {

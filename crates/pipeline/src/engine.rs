@@ -204,7 +204,7 @@ impl PipelineEngine {
         assert!(!self.started, "start called twice");
         self.started = true;
         self.epoch_start = now;
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.cfg.stages);
         for s in 0..self.cfg.stages {
             self.try_schedule(s, now, &mut out);
         }
@@ -284,7 +284,9 @@ impl PipelineEngine {
 
     /// Notifies the engine that the training kernel on `stage` completed.
     pub fn on_op_complete(&mut self, now: SimTime, stage: StageId) -> Vec<EngineAction> {
-        let mut out = Vec::new();
+        // A completion wakes this stage and at most one neighbour, each of
+        // which can schedule a launch and open a bubble report.
+        let mut out = Vec::with_capacity(4);
         let op = self.stages_rt[stage]
             .current
             .take()
@@ -321,7 +323,8 @@ impl PipelineEngine {
     /// The inter-epoch barrier: closes end-of-epoch bubbles, records the
     /// epoch, and starts the next epoch (or finishes training).
     pub fn epoch_boundary(&mut self, now: SimTime) -> Vec<EngineAction> {
-        let mut out = Vec::new();
+        // Every stage closes its end-of-epoch bubble and reschedules.
+        let mut out = Vec::with_capacity(2 * self.cfg.stages + 2);
         for s in 0..self.cfg.stages {
             self.close_idle(s, now, &mut out);
         }

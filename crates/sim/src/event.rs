@@ -4,6 +4,20 @@
 //! assigned at insertion. Two events scheduled for the same instant are
 //! therefore delivered in insertion order, which makes whole-simulation runs
 //! reproducible regardless of heap internals.
+//!
+//! ## Cancellation without per-event hashing
+//!
+//! Cancellation is lazy — cancelled entries stay in the heap as tombstones
+//! and are dropped when they surface — but liveness is tracked by a
+//! slot/generation scheme instead of a `HashSet<u64>`: every pending event
+//! owns a slot in a slab, its [`EventId`] stamps the slot's generation, and
+//! the slot (generation bumped) is recycled once the heap entry leaves the
+//! heap. Push, cancel, and pop are amortised allocation-free, and a stale
+//! id can never cancel a later event that happens to reuse its slot.
+//!
+//! Tombstones are purged from the heap top whenever one surfaces, so the
+//! top of the heap is always a live event and [`EventQueue::peek_time`]
+//! needs only `&self`.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -14,15 +28,24 @@ use std::collections::BinaryHeap;
 pub struct EventId(u64);
 
 impl EventId {
-    /// Raw sequence number backing this id.
+    /// Raw opaque value backing this id (slot and generation, packed).
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    fn pack(generation: u32, slot: u32) -> Self {
+        EventId((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
     }
 }
 
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
@@ -50,15 +73,31 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Liveness slot for one pending event. The generation distinguishes the
+/// slot's current tenant from stale [`EventId`]s of earlier tenants.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    generation: u32,
+    alive: bool,
+}
+
 /// Min-heap of `(time, insertion order)`-keyed events.
 ///
-/// Cancellation is lazy: cancelled entries stay in the heap and are skipped
-/// on pop, keeping both `cancel` and amortised `pop` O(log n).
+/// Cancellation is lazy: cancelled entries stay in the heap and are dropped
+/// when they surface at the top, keeping both `cancel` and amortised `pop`
+/// O(log n) with no per-event allocation (liveness lives in a recycled
+/// slot slab, not a hash set).
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Monotonic insertion counter; orders same-instant events.
     next_seq: u64,
-    /// Sequence numbers that are scheduled and not yet delivered/cancelled.
-    pending: std::collections::HashSet<u64>,
+    /// Slot slab; grows to the maximum number of concurrently pending
+    /// events and is recycled thereafter.
+    slots: Vec<Slot>,
+    /// Indices of vacant slots.
+    free: Vec<u32>,
+    /// Number of scheduled, not-yet-delivered, not-cancelled events.
+    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,7 +112,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
         }
     }
 
@@ -82,57 +123,112 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
-        self.pending.insert(seq);
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].alive = true;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slot slab overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    alive: true,
+                });
+                s
+            }
+        };
+        self.heap.push(Entry {
+            time,
+            seq,
+            slot,
+            event,
+        });
+        self.live += 1;
+        EventId::pack(self.slots[slot as usize].generation, slot)
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet been delivered or cancelled.
-    /// Cancelling a delivered or unknown id is a no-op returning `false`.
+    /// Cancelling a delivered, already-cancelled, or unknown id is a no-op
+    /// returning `false` — a stale id can never hit a recycled slot because
+    /// the generation stamp no longer matches.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        let (generation, slot) = id.unpack();
+        match self.slots.get_mut(slot as usize) {
+            Some(s) if s.alive && s.generation == generation => {
+                s.alive = false;
+                self.live -= 1;
+                self.purge_tombstone_top();
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Timestamp of the next live event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.skip_cancelled();
+    ///
+    /// Read-only: tombstones are purged eagerly on `cancel`/`pop`, so the
+    /// heap top is always live.
+    pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.skip_cancelled();
         let entry = self.heap.pop()?;
-        self.pending.remove(&entry.seq);
+        debug_assert!(
+            self.slots[entry.slot as usize].alive,
+            "heap top must be live"
+        );
+        self.retire(entry.slot);
+        self.live -= 1;
+        self.purge_tombstone_top();
         Some((entry.time, entry.event))
     }
 
-    fn skip_cancelled(&mut self) {
+    /// Recycles a slot whose heap entry just left the heap.
+    fn retire(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.alive = false;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Drops cancelled entries that surfaced at the heap top, restoring the
+    /// invariant that the top of the heap is a live event.
+    fn purge_tombstone_top(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if !self.pending.contains(&top.seq) {
-                self.heap.pop();
-            } else {
+            if self.slots[top.slot as usize].alive {
                 break;
             }
+            let e = self.heap.pop().expect("peeked entry");
+            self.retire(e.slot);
         }
     }
 
     /// Number of scheduled, not-yet-delivered, not-cancelled events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
-    /// Removes every pending event.
+    /// Removes every pending event. Outstanding [`EventId`]s are
+    /// invalidated (their generations are bumped), so they can never
+    /// cancel events scheduled after the clear.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
+        self.free.clear();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            s.alive = false;
+            s.generation = s.generation.wrapping_add(1);
+            self.free.push(i as u32);
+        }
+        self.live = 0;
     }
 }
 
@@ -192,7 +288,9 @@ mod tests {
         let a = q.push(t(10), 1);
         q.push(t(15), 2);
         q.cancel(a);
-        assert_eq!(q.peek_time(), Some(t(15)));
+        // peek_time is read-only: a shared reference suffices.
+        let q_ref: &EventQueue<i32> = &q;
+        assert_eq!(q_ref.peek_time(), Some(t(15)));
     }
 
     #[test]
@@ -219,6 +317,28 @@ mod tests {
     }
 
     #[test]
+    fn clear_invalidates_outstanding_ids() {
+        let mut q = EventQueue::new();
+        let old = q.push(t(1), "old");
+        q.clear();
+        let _new = q.push(t(2), "new");
+        assert!(!q.cancel(old), "stale id must not hit the recycled slot");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "new")));
+    }
+
+    #[test]
+    fn delivered_id_cannot_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        // The next push recycles a's slot under a new generation.
+        let _b = q.push(t(2), "b");
+        assert!(!q.cancel(a), "delivered id is dead forever");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
     fn interleaved_push_pop_maintains_order() {
         let mut q = EventQueue::new();
         q.push(t(10), 10u64);
@@ -229,5 +349,71 @@ mod tests {
         assert_eq!(q.pop(), Some((t(2), 2)));
         assert_eq!(q.pop(), Some((t(7), 7)));
         assert_eq!(q.pop(), Some((t(10), 10)));
+    }
+
+    /// Heavy-cancellation workload: every other event of a large batch is
+    /// cancelled. Tombstone purge must keep pops in order, `len()` exact at
+    /// every step, and the slot slab bounded by the peak pending count.
+    #[test]
+    fn heavy_cancellation_purges_tombstones_and_keeps_len_exact() {
+        let mut q = EventQueue::new();
+        let n = 10_000u64;
+        let ids: Vec<EventId> = (0..n).map(|i| q.push(t(i), i)).collect();
+        assert_eq!(q.len(), n as usize);
+        // Cancel every odd event.
+        let mut live = n as usize;
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(q.cancel(*id));
+                live -= 1;
+                assert_eq!(q.len(), live);
+            }
+        }
+        // Only even events remain, in time order; len counts down exactly.
+        for i in (0..n).step_by(2) {
+            assert_eq!(q.peek_time(), Some(t(i)));
+            assert_eq!(q.pop(), Some((t(i), i)));
+            live -= 1;
+            assert_eq!(q.len(), live);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // The slab never outgrew the peak pending population.
+        assert!(q.slots.len() <= n as usize);
+    }
+
+    /// Cancelling the current head repeatedly: the purge must keep the heap
+    /// top live so a read-only peek sees through arbitrarily long tombstone
+    /// runs.
+    #[test]
+    fn cancelling_the_head_keeps_peek_live() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..100).map(|i| q.push(t(i), i)).collect();
+        for (i, id) in ids.iter().enumerate().take(99) {
+            assert_eq!(q.peek_time(), Some(t(i as u64)));
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.peek_time(), Some(t(99)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(99), 99)));
+    }
+
+    /// Slots are recycled: a long push/pop stream keeps the slab at the
+    /// concurrent-pending high-water mark instead of growing per event.
+    #[test]
+    fn slot_slab_is_recycled_across_generations() {
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            let a = q.push(t(round), round);
+            q.push(t(round), round + 1);
+            assert!(q.cancel(a));
+            assert_eq!(q.pop(), Some((t(round), round + 1)));
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.slots.len() <= 2,
+            "slab must stay at the high-water mark, got {}",
+            q.slots.len()
+        );
     }
 }

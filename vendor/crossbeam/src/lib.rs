@@ -1,10 +1,13 @@
 //! Offline stand-in for the subset of `crossbeam` used by this workspace:
-//! `crossbeam::channel::{bounded, unbounded, Sender, Receiver}`.
+//! `crossbeam::channel::{bounded, unbounded, Sender, Receiver}` and
+//! `crossbeam::thread::{scope, Scope, ScopedJoinHandle}`.
 //!
-//! Backed by `std::sync::mpsc`; the semantics needed here (bounded
-//! blocking send, blocking recv, disconnect on sender drop) are
+//! Channels are backed by `std::sync::mpsc`; the semantics needed here
+//! (bounded blocking send, blocking recv, disconnect on sender drop) are
 //! identical. Multi-consumer cloning of `Receiver` is not provided —
-//! nothing in-tree uses it.
+//! nothing in-tree uses it. Scoped threads are backed by
+//! `std::thread::scope` with crossbeam's call shape (`scope` returns a
+//! `Result`, spawn closures receive `&Scope` for nested spawns).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,6 +83,67 @@ pub mod channel {
     }
 }
 
+/// Scoped threads: spawn borrowing threads that are guaranteed joined
+/// before the scope returns.
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Result of joining a thread; the error carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope within which borrowing threads can be spawned.
+    ///
+    /// Mirrors `crossbeam::thread::Scope`: spawn closures receive a
+    /// `&Scope` so they can spawn further scoped threads.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining returns the closure's value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so it
+        /// can spawn nested scoped threads, matching crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; all spawned threads
+    /// are joined before `scope` returns.
+    ///
+    /// Divergence from upstream: a panicking child thread propagates its
+    /// panic out of `scope` (via `std::thread::scope`) instead of being
+    /// collected into the returned `Result`, which is therefore always
+    /// `Ok` — the strictly stricter behaviour for in-tree callers, all of
+    /// whom `expect` the result.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, RecvError};
@@ -112,5 +176,27 @@ mod tests {
         let sum: i32 = (0..100).map(|_| rx.recv().unwrap()).sum();
         t.join().unwrap();
         assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn scoped_threads_nest() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
     }
 }

@@ -180,12 +180,12 @@ fn main() {
     header("Ablation: placement policy (mixed workload)");
     // The policy lives in the manager; run_colocation uses the paper's
     // min-tasks policy. Here we compare placements structurally.
-    use freeride_core::{PlacementPolicy, SideTaskManager, TaskId};
+    use freeride_core::{SideTaskManager, TaskId, WorkerPolicy};
     use freeride_gpu::MemBytes;
     for (name, policy) in [
-        ("min-tasks (paper)", PlacementPolicy::MinTasks),
-        ("first-fit", PlacementPolicy::FirstFit),
-        ("most-memory", PlacementPolicy::MostMemory),
+        ("min-tasks (paper)", WorkerPolicy::MinTasks),
+        ("first-fit", WorkerPolicy::FirstFit),
+        ("most-memory", WorkerPolicy::MostMemory),
     ] {
         let mems: Vec<MemBytes> = (0..4).map(|s| pipeline.stage_free_memory(s)).collect();
         let mut mgr = SideTaskManager::new(mems).with_policy(policy);

@@ -1,6 +1,6 @@
 //! `perf` — the tracked performance baseline of the reproduction.
 //!
-//! Runs a standard workload twice over:
+//! Runs a standard workload three times over:
 //!
 //! 1. **Single run** — one full co-location simulation, reporting
 //!    wall-clock and simulation events/sec (the hot-path metric);
@@ -8,7 +8,10 @@
 //!    Table-2 mixed-workload methods (10 independent simulations), first
 //!    sequentially (`threads = 1`), then fanned across the configured
 //!    thread count, reporting the wall-clock speedup (the parallel-executor
-//!    metric).
+//!    metric);
+//! 3. **Cluster run** — a 4-job multi-tenant cluster (model rotation
+//!    3.6B/1.2B/6B, least-loaded placement) in one simulation, reporting
+//!    `cluster_events_per_sec` (the multi-job-scale metric).
 //!
 //! Results are printed and written to `BENCH.json` in the current
 //! directory so every PR leaves a perf trajectory to regress against
@@ -18,7 +21,10 @@
 //! [epochs] [--threads N]`
 
 use freeride_bench::{all_methods, default_threads, main_pipeline, BenchArgs, SweepRunner};
-use freeride_core::{run_colocation, ColocationRun, FreeRideConfig, Submission};
+use freeride_core::{
+    run_colocation, Cluster, ClusterJob, ColocationRun, FreeRideConfig, LeastLoaded, Submission,
+};
+use freeride_pipeline::{ModelSpec, PipelineConfig};
 use freeride_tasks::WorkloadKind;
 use std::time::Instant;
 
@@ -42,6 +48,44 @@ fn single_run(args: &BenchArgs) -> SingleRun {
         wall_s,
         events: run.events_processed,
         events_per_sec: run.events_processed as f64 / wall_s,
+    }
+}
+
+/// The standard 4-job cluster: one simulation hosting four training jobs.
+fn cluster_run_once(args: &BenchArgs) -> u64 {
+    let model = |j: usize| match j % 3 {
+        0 => ModelSpec::nanogpt_3_6b(),
+        1 => ModelSpec::nanogpt_1_2b(),
+        _ => ModelSpec::nanogpt_6b(),
+    };
+    let mut builder = Cluster::builder().policy(LeastLoaded).cost_report(false);
+    for j in 0..4 {
+        let cfg = args.configure(FreeRideConfig::iterative());
+        builder = builder.job(
+            ClusterJob::new(PipelineConfig::paper_default(model(j)).with_epochs(args.epochs))
+                .config(cfg)
+                .seed(0xC1_05_7E ^ (j as u64)),
+        );
+    }
+    let mut cluster = builder.build();
+    for j in 0..4 {
+        let _ = cluster.submit_to_job(j, Submission::new(WorkloadKind::PageRank));
+        let _ = cluster.submit(Submission::new(WorkloadKind::ImageProc));
+    }
+    cluster.run().events_processed
+}
+
+/// One measurement of the multi-job (cluster) hot path.
+fn cluster_perf(args: &BenchArgs) -> SingleRun {
+    // One warm-up, then the measured run.
+    let _ = cluster_run_once(args);
+    let start = Instant::now();
+    let events = cluster_run_once(args);
+    let wall_s = start.elapsed().as_secs_f64();
+    SingleRun {
+        wall_s,
+        events,
+        events_per_sec: events as f64 / wall_s,
     }
 }
 
@@ -90,6 +134,13 @@ fn main() {
         single.wall_s, single.events, single.events_per_sec
     );
 
+    println!("-- cluster run (4 jobs, model rotation, least-loaded placement) --");
+    let cluster = cluster_perf(&args);
+    println!(
+        "wall {:.3}s, {} events, {:.0} cluster events/sec",
+        cluster.wall_s, cluster.events, cluster.events_per_sec
+    );
+
     println!("-- standard sweep (10 runs: table1 workloads + table2 mixed methods) --");
     let (seq_s, seq_events) = timed_sweep(SweepRunner::new(1), &args);
     println!("sequential: {seq_s:.3}s ({seq_events} events)");
@@ -110,11 +161,12 @@ fn main() {
         .unwrap_or(0);
     let json = format!(
         "{{\n  \
-         \"bench_version\": 1,\n  \
+         \"bench_version\": 2,\n  \
          \"unix_time\": {unix_time},\n  \
          \"host\": {{ \"cores\": {cores} }},\n  \
-         \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10 }},\n  \
+         \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10, \"cluster_jobs\": 4 }},\n  \
          \"single_run\": {{ \"wall_s\": {sw:.4}, \"events\": {se}, \"events_per_sec\": {seps:.0} }},\n  \
+         \"cluster\": {{ \"wall_s\": {cw:.4}, \"events\": {ce}, \"cluster_events_per_sec\": {ceps:.0} }},\n  \
          \"sweep\": {{ \"sequential_s\": {qs:.4}, \"parallel_s\": {ps:.4}, \"speedup\": {sp:.3}, \"events\": {ev} }}\n\
          }}\n",
         epochs = args.epochs,
@@ -122,6 +174,9 @@ fn main() {
         sw = single.wall_s,
         se = single.events,
         seps = single.events_per_sec,
+        cw = cluster.wall_s,
+        ce = cluster.events,
+        ceps = cluster.events_per_sec,
         qs = seq_s,
         ps = par_s,
         sp = speedup,

@@ -3,7 +3,11 @@
 //! sequential run of the same closures, in submission order.
 
 use freeride_bench::{main_pipeline, SweepRunner};
-use freeride_core::{run_colocation, FreeRideConfig, Submission};
+use freeride_core::{
+    run_colocation, BestFitMemory, Cluster, ClusterJob, FirstFit, FreeRideConfig, LeastLoaded,
+    MinTasksJob, PlacementPolicy, Submission,
+};
+use freeride_pipeline::{ModelSpec, PipelineConfig};
 use freeride_tasks::WorkloadKind;
 
 /// The table1-style row computation: a full co-location simulation per
@@ -44,6 +48,64 @@ fn parallel_sweep_is_byte_identical_to_sequential() {
         assert_eq!(
             sequential, parallel,
             "threads={threads} must not change a single byte of output"
+        );
+    }
+}
+
+/// The cluster-bin row computation: a multi-job cluster simulation per
+/// policy, formatted like the binary's output rows.
+fn cluster_rows(threads: usize) -> Vec<String> {
+    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+        Box::new(FirstFit),
+        Box::new(BestFitMemory),
+        Box::new(LeastLoaded),
+        Box::new(MinTasksJob),
+    ];
+    let jobs: Vec<_> = policies
+        .into_iter()
+        .map(|policy| {
+            move || {
+                let mut cluster = Cluster::builder()
+                    .job(
+                        ClusterJob::new(
+                            PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2),
+                        )
+                        .seed(1),
+                    )
+                    .job(
+                        ClusterJob::new(
+                            PipelineConfig::paper_default(ModelSpec::nanogpt_1_2b()).with_epochs(2),
+                        )
+                        .seed(2),
+                    )
+                    .policy(policy)
+                    .cost_report(false)
+                    .build();
+                for kind in [WorkloadKind::PageRank, WorkloadKind::ImageProc] {
+                    let _ = cluster.submit(Submission::new(kind));
+                }
+                let report = cluster.run();
+                format!(
+                    "{} steps={} events={} makespan={}",
+                    report.policy,
+                    report.total_steps(),
+                    report.events_processed,
+                    report.makespan()
+                )
+            }
+        })
+        .collect();
+    SweepRunner::new(threads).run(jobs)
+}
+
+#[test]
+fn cluster_sweep_is_byte_identical_to_sequential() {
+    let sequential = cluster_rows(1);
+    for threads in [2, 4] {
+        let parallel = cluster_rows(threads);
+        assert_eq!(
+            sequential, parallel,
+            "threads={threads} must not change a single byte of cluster output"
         );
     }
 }

@@ -1,0 +1,972 @@
+//! The `Cluster` API: N pipeline-parallel training jobs in **one**
+//! deterministic simulation, behind a single side-task admission plane.
+//!
+//! The paper's middleware harvests the bubbles of *one* training job. A
+//! [`Cluster`] raises that surface to a fleet: each job keeps its own
+//! [`PipelineConfig`], seed, and co-location mode, all jobs advance in one
+//! event loop over one shared RPC bus (job-qualified endpoint namespace,
+//! see [`freeride_rpc::job_scope`]), and side tasks enter through a single
+//! cluster-wide [`Cluster::submit`] that routes each submission to a job's
+//! workers via a pluggable [`PlacementPolicy`]:
+//!
+//! * [`FirstFit`] — first worker (scanning jobs in order) with enough
+//!   bubble memory;
+//! * [`BestFitMemory`] — the *tightest* fitting worker cluster-wide;
+//! * [`LeastLoaded`] — the fitting worker with the fewest routed tasks;
+//! * [`MinTasksJob`] — the cluster-level analogue of the paper's
+//!   Algorithm 1 (and the [`Deployment`](crate::Deployment) default):
+//!   pick the least-admitted job that can host the task and let that
+//!   job's manager choose the worker dynamically at arrival time.
+//!
+//! A submission that does not fit its preferred job **spills over** to any
+//! other job with room ([`Cluster::submit_to_job`]) instead of being
+//! rejected outright; only when *no* job can host it does the caller get
+//! [`SubmitError::InsufficientMemory`]. [`Cluster::run`] drives the whole
+//! fleet to completion and returns a [`ClusterReport`] aggregating one
+//! [`DeploymentReport`] per job plus cluster-level metrics.
+//!
+//! A one-job cluster is byte-identical to the pre-cluster single-job
+//! orchestrator — `Deployment` is now literally a thin wrapper over it.
+
+use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
+use crate::deployment::{
+    assemble_report, AcceptedSubmission, DeploymentReport, RejectedSubmission, Submission,
+    TaskHandle,
+};
+use crate::manager::SubmitError;
+use crate::orchestrator::{execute_cluster, JobExecSpec, TaskSummary};
+use crate::state::SideTaskState;
+use crate::task::{StopReason, TaskId};
+use freeride_gpu::MemBytes;
+use freeride_pipeline::{PipelineConfig, ScheduleKind};
+use freeride_sim::SimDuration;
+use freeride_tasks::WorkloadTag;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Where a [`PlacementPolicy`] routed a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Route to a job and let that job's manager pick the worker
+    /// dynamically (the paper's Algorithm 1, evaluated at arrival time).
+    Job(usize),
+    /// Pin the submission to a specific worker of a job.
+    Worker {
+        /// Target job index.
+        job: usize,
+        /// Target worker (stage) within the job.
+        worker: usize,
+    },
+}
+
+/// Read-only snapshot of one worker slot offered to a policy.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerView {
+    /// Worker (stage) index within its job.
+    pub worker: usize,
+    /// Bubble free memory this worker offers (the admission capacity of
+    /// Algorithm 1 — a task needs *strictly less* than this to fit).
+    pub free_mem: MemBytes,
+    /// Submissions already pinned to this worker by earlier placements.
+    pub assigned: usize,
+}
+
+/// Read-only snapshot of one job offered to a policy.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job index within the cluster.
+    pub job: usize,
+    /// Submissions already routed to this job (pinned or job-level).
+    pub admitted: usize,
+    /// Worker slots in stage order.
+    pub workers: Vec<WorkerView>,
+}
+
+impl JobView {
+    /// Whether some worker of this job can host a task needing `needed`.
+    pub fn fits(&self, needed: MemBytes) -> bool {
+        self.workers.iter().any(|w| w.free_mem > needed)
+    }
+}
+
+/// The cluster state a [`PlacementPolicy`] decides over: every job's
+/// worker slots with their bubble memory and current routing load.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    jobs: Vec<JobView>,
+}
+
+impl ClusterView {
+    /// The jobs in index order. When a submission targets a preferred job
+    /// ([`Cluster::submit_to_job`]), the first `place` call sees a view
+    /// restricted to that job — `JobView::job` still carries the true
+    /// cluster index.
+    pub fn jobs(&self) -> &[JobView] {
+        &self.jobs
+    }
+
+    /// The largest bubble free memory any worker offers.
+    pub fn best_free(&self) -> MemBytes {
+        self.jobs
+            .iter()
+            .flat_map(|j| j.workers.iter().map(|w| w.free_mem))
+            .max()
+            .unwrap_or(MemBytes::ZERO)
+    }
+}
+
+/// How a [`Cluster`] routes a submission to a job's workers.
+///
+/// Policies are consulted at submission time over a [`ClusterView`] and
+/// must return a [`Placement`] whose capacity strictly exceeds `needed`
+/// (the cluster validates this and panics on a policy that violates it),
+/// or `None` when nothing fits — which the cluster reports as a typed
+/// [`SubmitError::InsufficientMemory`].
+///
+/// ```
+/// use freeride_core::{ClusterView, Placement, PlacementPolicy};
+/// use freeride_gpu::MemBytes;
+///
+/// /// Routes every task to the highest-indexed job that can host it.
+/// struct PreferLastJob;
+///
+/// impl PlacementPolicy for PreferLastJob {
+///     fn name(&self) -> &'static str {
+///         "prefer-last"
+///     }
+///
+///     fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+///         view.jobs()
+///             .iter()
+///             .rev()
+///             .find(|j| j.fits(needed))
+///             .map(|j| Placement::Job(j.job))
+///     }
+/// }
+/// ```
+pub trait PlacementPolicy: Send + Sync {
+    /// Short policy name carried into [`ClusterReport`] and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Chooses where to place a submission needing `needed` bubble
+    /// memory, or `None` if no candidate fits.
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement>;
+}
+
+/// Boxed policies are policies too, so runtime-chosen policies (e.g. a
+/// benchmark sweeping every policy by name) plug straight into
+/// [`ClusterBuilder::policy`].
+impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+        (**self).place(needed, view)
+    }
+}
+
+/// First fitting worker wins, scanning jobs (then stages) in index order.
+/// No balancing: successive submissions pile onto the earliest slot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl PlacementPolicy for FirstFit {
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+        for j in view.jobs() {
+            for w in &j.workers {
+                if w.free_mem > needed {
+                    return Some(Placement::Worker {
+                        job: j.job,
+                        worker: w.worker,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The **tightest** fitting worker cluster-wide wins (classic best-fit:
+/// minimise leftover bubble memory, preserving the big slots for big
+/// tasks). Ties break toward the lower (job, worker) index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFitMemory;
+
+impl PlacementPolicy for BestFitMemory {
+    fn name(&self) -> &'static str {
+        "best-fit-memory"
+    }
+
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+        let mut best: Option<(MemBytes, Placement)> = None;
+        for j in view.jobs() {
+            for w in &j.workers {
+                if w.free_mem > needed && best.is_none_or(|(m, _)| w.free_mem < m) {
+                    best = Some((
+                        w.free_mem,
+                        Placement::Worker {
+                            job: j.job,
+                            worker: w.worker,
+                        },
+                    ));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+}
+
+/// The fitting worker with the **fewest already-routed submissions** wins.
+/// Ties break toward the lower (job, worker) index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+        let mut best: Option<(usize, Placement)> = None;
+        for j in view.jobs() {
+            for w in &j.workers {
+                if w.free_mem > needed && best.is_none_or(|(n, _)| w.assigned < n) {
+                    best = Some((
+                        w.assigned,
+                        Placement::Worker {
+                            job: j.job,
+                            worker: w.worker,
+                        },
+                    ));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+}
+
+/// The cluster-level analogue of the paper's Algorithm 1 — and the
+/// default policy (it is what [`crate::Deployment`] wraps): route to the
+/// job with the fewest admitted submissions among jobs that can host the
+/// task, and leave worker selection to that job's manager, which applies
+/// the real Algorithm 1 *at arrival time* against live queue state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinTasksJob;
+
+impl PlacementPolicy for MinTasksJob {
+    fn name(&self) -> &'static str {
+        "min-tasks-job"
+    }
+
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+        let mut best: Option<(usize, usize)> = None; // (admitted, job)
+        for j in view.jobs() {
+            if j.fits(needed) && best.is_none_or(|(n, _)| j.admitted < n) {
+                best = Some((j.admitted, j.job));
+            }
+        }
+        best.map(|(_, job)| Placement::Job(job))
+    }
+}
+
+/// One training job of a cluster, configured fluently: its pipeline plus
+/// its own middleware config (mode, interface, seed, schedule) — jobs in
+/// one cluster need not agree on any of them.
+#[derive(Debug, Clone)]
+pub struct ClusterJob {
+    pipeline: PipelineConfig,
+    cfg: FreeRideConfig,
+}
+
+impl ClusterJob {
+    /// A job training `pipeline` under the default (iterative FreeRide)
+    /// middleware configuration.
+    pub fn new(pipeline: PipelineConfig) -> Self {
+        ClusterJob {
+            pipeline,
+            cfg: FreeRideConfig::iterative(),
+        }
+    }
+
+    /// Replaces the whole middleware configuration.
+    pub fn config(mut self, cfg: FreeRideConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the co-location mode (FreeRide, MPS, naive).
+    pub fn mode(mut self, mode: ColocationMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Runs FreeRide with the given programming interface.
+    pub fn interface(mut self, interface: InterfaceKind) -> Self {
+        self.cfg.mode = ColocationMode::FreeRide(interface);
+        self
+    }
+
+    /// Sets this job's root seed (jobs keep independent seeds).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the pipeline schedule to train with.
+    pub fn schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.cfg.schedule = schedule;
+        self
+    }
+
+    /// Applies an arbitrary tweak to the configuration.
+    pub fn tune(mut self, f: impl FnOnce(&mut FreeRideConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+}
+
+/// One job's submission-time state inside a cluster.
+struct JobSlot {
+    pipeline: PipelineConfig,
+    cfg: FreeRideConfig,
+    accepted: Vec<AcceptedSubmission>,
+    /// Submissions routed to this job (pinned or job-level).
+    admitted: usize,
+    /// Per-worker pinned-submission counts (feeds [`WorkerView::assigned`]).
+    pinned_counts: Vec<usize>,
+}
+
+/// Fluent configuration for a [`Cluster`].
+pub struct ClusterBuilder {
+    jobs: Vec<ClusterJob>,
+    policy: Arc<dyn PlacementPolicy>,
+    seed: Option<u64>,
+    cost_report: bool,
+}
+
+impl ClusterBuilder {
+    /// Adds a training job to the cluster (jobs are indexed in insertion
+    /// order).
+    pub fn job(mut self, job: ClusterJob) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Replaces the placement policy (default: [`MinTasksJob`]).
+    pub fn policy(mut self, policy: impl PlacementPolicy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// Seeds the shared RPC bus's jitter stream. Defaults to job 0's seed,
+    /// which makes a one-job cluster byte-identical to the pre-cluster
+    /// orchestrator.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Whether [`Cluster::run`] also trains each job's no-side-task
+    /// baseline and fills [`DeploymentReport::cost`] (default: `true`) —
+    /// required for [`ClusterReport::global_throughput_loss`].
+    pub fn cost_report(mut self, enabled: bool) -> Self {
+        self.cost_report = enabled;
+        self
+    }
+
+    /// Finishes configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job was added.
+    pub fn build(self) -> Cluster {
+        assert!(!self.jobs.is_empty(), "a cluster needs at least one job");
+        Cluster {
+            jobs: self
+                .jobs
+                .into_iter()
+                .map(|j| {
+                    let stages = j.pipeline.stages;
+                    JobSlot {
+                        pipeline: j.pipeline,
+                        cfg: j.cfg,
+                        accepted: Vec::new(),
+                        admitted: 0,
+                        pinned_counts: vec![0; stages],
+                    }
+                })
+                .collect(),
+            policy: self.policy,
+            seed: self.seed,
+            cost_report: self.cost_report,
+            next_id: 0,
+            rejected: Vec::new(),
+        }
+    }
+}
+
+/// Handle to a submission accepted by a cluster: the hosting job plus the
+/// per-task [`TaskHandle`], resolving to the task's outcome after
+/// [`Cluster::run`].
+#[derive(Debug, Clone)]
+pub struct ClusterTaskHandle {
+    job: usize,
+    handle: TaskHandle,
+}
+
+impl ClusterTaskHandle {
+    /// The job this submission was routed to.
+    pub fn job(&self) -> usize {
+        self.job
+    }
+
+    /// The underlying per-task handle.
+    pub fn handle(&self) -> &TaskHandle {
+        &self.handle
+    }
+
+    /// Unwraps into the plain [`TaskHandle`] (drops the job affinity).
+    pub fn into_task_handle(self) -> TaskHandle {
+        self.handle
+    }
+
+    /// The id assigned at submission (unique cluster-wide).
+    pub fn id(&self) -> TaskId {
+        self.handle.id()
+    }
+
+    /// Workload identity.
+    pub fn tag(&self) -> &WorkloadTag {
+        self.handle.tag()
+    }
+
+    /// The full outcome, once the run finished.
+    pub fn outcome(&self) -> Option<&TaskSummary> {
+        self.handle.outcome()
+    }
+
+    /// Final life-cycle state.
+    pub fn state(&self) -> Option<SideTaskState> {
+        self.handle.state()
+    }
+
+    /// Steps completed during bubbles.
+    pub fn steps(&self) -> Option<u64> {
+        self.handle.steps()
+    }
+
+    /// Why the task stopped.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.handle.stop_reason()
+    }
+
+    /// The worker (stage) the task ran on within its job.
+    pub fn worker(&self) -> Option<usize> {
+        self.handle.worker()
+    }
+
+    /// The workload's last progress metric.
+    pub fn last_value(&self) -> Option<f64> {
+        self.handle.last_value()
+    }
+}
+
+/// A fleet of concurrently-simulated pipeline-training jobs with one
+/// shared side-task admission plane.
+///
+/// ```
+/// use freeride_core::{Cluster, ClusterJob, LeastLoaded, Submission};
+/// use freeride_pipeline::{ModelSpec, PipelineConfig};
+/// use freeride_tasks::WorkloadKind;
+///
+/// let mut cluster = Cluster::builder()
+///     .job(ClusterJob::new(
+///         PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2),
+///     )
+///     .seed(7))
+///     .job(ClusterJob::new(
+///         PipelineConfig::paper_default(ModelSpec::nanogpt_1_2b()).with_epochs(3),
+///     )
+///     .seed(8))
+///     .policy(LeastLoaded)
+///     .cost_report(false)
+///     .build();
+///
+/// let handle = cluster
+///     .submit(Submission::new(WorkloadKind::PageRank))
+///     .expect("some worker has room");
+/// let report = cluster.run();
+/// assert_eq!(report.jobs.len(), 2);
+/// assert!(handle.steps().unwrap() > 0, "the task harvested bubbles");
+/// assert_eq!(report.total_rejections(), 0);
+/// ```
+pub struct Cluster {
+    jobs: Vec<JobSlot>,
+    policy: Arc<dyn PlacementPolicy>,
+    seed: Option<u64>,
+    cost_report: bool,
+    next_id: u64,
+    rejected: Vec<RejectedSubmission>,
+}
+
+impl Cluster {
+    /// Starts configuring a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            jobs: Vec::new(),
+            policy: Arc::new(MinTasksJob),
+            seed: None,
+            cost_report: true,
+        }
+    }
+
+    /// Number of jobs in the cluster.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The middleware configuration of job `job`.
+    pub fn job_config(&self, job: usize) -> &FreeRideConfig {
+        &self.jobs[job].cfg
+    }
+
+    /// The pipeline configuration of job `job`.
+    pub fn job_pipeline(&self, job: usize) -> &PipelineConfig {
+        &self.jobs[job].pipeline
+    }
+
+    /// The active placement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The placement view policies currently decide over (diagnostic).
+    pub fn view(&self) -> ClusterView {
+        self.view_of(None)
+    }
+
+    fn view_of(&self, only: Option<usize>) -> ClusterView {
+        ClusterView {
+            jobs: self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| only.is_none_or(|o| o == *j))
+                .map(|(j, slot)| JobView {
+                    job: j,
+                    admitted: slot.admitted,
+                    workers: (0..slot.pipeline.stages)
+                        .map(|w| WorkerView {
+                            worker: w,
+                            free_mem: slot.pipeline.stage_free_memory(w),
+                            assigned: slot.pinned_counts[w],
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Submits a side task to the cluster; the placement policy routes it
+    /// to a job's workers. Admission is checked immediately (a rejection
+    /// comes back typed, with the numbers that caused it, and is kept
+    /// whole in [`ClusterReport::rejected`]); placement within the job
+    /// happens in-run at the submission's arrival time.
+    pub fn submit(&mut self, submission: Submission) -> Result<ClusterTaskHandle, SubmitError> {
+        self.route(None, submission)
+    }
+
+    /// Submits a side task with **job affinity**: the policy first sees
+    /// only `job`; when that job cannot host the task, the submission
+    /// **spills over** to the rest of the cluster instead of being
+    /// rejected — only a cluster-wide miss is an
+    /// [`SubmitError::InsufficientMemory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is out of range.
+    pub fn submit_to_job(
+        &mut self,
+        job: usize,
+        submission: Submission,
+    ) -> Result<ClusterTaskHandle, SubmitError> {
+        assert!(job < self.jobs.len(), "job {job} out of range");
+        self.route(Some(job), submission)
+    }
+
+    fn route(
+        &mut self,
+        preferred: Option<usize>,
+        submission: Submission,
+    ) -> Result<ClusterTaskHandle, SubmitError> {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        let admitted = submission.profile().and_then(|profile| {
+            let needed = profile.gpu_mem;
+            let placement = match preferred {
+                // Affinity first, cluster-wide spillover second.
+                Some(j) => self
+                    .policy
+                    .place(needed, &self.view_of(Some(j)))
+                    .or_else(|| self.policy.place(needed, &self.view_of(None))),
+                None => self.policy.place(needed, &self.view_of(None)),
+            };
+            match placement {
+                Some(p) => Ok((profile, p)),
+                None => Err(SubmitError::InsufficientMemory {
+                    needed,
+                    best_worker_free: self.view_of(None).best_free(),
+                }),
+            }
+        });
+        match admitted {
+            Ok((profile, placement)) => {
+                let (job, pinned) = self.validate_placement(placement, profile.gpu_mem);
+                let outcome = Arc::new(OnceLock::new());
+                let handle = TaskHandle::new(id, submission.tag().clone(), Arc::clone(&outcome));
+                let slot = &mut self.jobs[job];
+                slot.accepted.push(AcceptedSubmission {
+                    id,
+                    submission,
+                    profile,
+                    pinned,
+                    outcome,
+                });
+                slot.admitted += 1;
+                if let Some(w) = pinned {
+                    slot.pinned_counts[w] += 1;
+                }
+                Ok(ClusterTaskHandle { job, handle })
+            }
+            Err(error) => {
+                self.rejected.push(RejectedSubmission { submission, error });
+                Err(error)
+            }
+        }
+    }
+
+    /// Enforces the [`PlacementPolicy`] contract: in-range indices and
+    /// strictly sufficient bubble memory at the chosen placement.
+    fn validate_placement(&self, placement: Placement, needed: MemBytes) -> (usize, Option<usize>) {
+        match placement {
+            Placement::Job(job) => {
+                assert!(
+                    job < self.jobs.len(),
+                    "policy placed on job {job}: out of range"
+                );
+                let slot = &self.jobs[job];
+                let best = (0..slot.pipeline.stages)
+                    .map(|w| slot.pipeline.stage_free_memory(w))
+                    .max()
+                    .unwrap_or(MemBytes::ZERO);
+                assert!(
+                    best > needed,
+                    "policy {} routed a task needing {needed} to job {job}, \
+                     whose best worker offers only {best}",
+                    self.policy.name()
+                );
+                (job, None)
+            }
+            Placement::Worker { job, worker } => {
+                assert!(
+                    job < self.jobs.len(),
+                    "policy placed on job {job}: out of range"
+                );
+                let slot = &self.jobs[job];
+                assert!(
+                    worker < slot.pipeline.stages,
+                    "policy placed on job {job} worker {worker}: out of range"
+                );
+                let free = slot.pipeline.stage_free_memory(worker);
+                assert!(
+                    free > needed,
+                    "policy {} pinned a task needing {needed} to job {job} worker {worker}, \
+                     which offers only {free}",
+                    self.policy.name()
+                );
+                (job, Some(worker))
+            }
+        }
+    }
+
+    /// Runs every job to completion — all in one deterministic simulation
+    /// — and reports per-job outcomes plus cluster-level aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's configuration fails [`FreeRideConfig::validate`].
+    pub fn run(self) -> ClusterReport {
+        for slot in &self.jobs {
+            slot.cfg.validate();
+        }
+        let bus_seed = self.seed.unwrap_or(self.jobs[0].cfg.seed);
+        let outputs = {
+            let specs: Vec<JobExecSpec<'_>> = self
+                .jobs
+                .iter()
+                .map(|s| JobExecSpec {
+                    pipeline: &s.pipeline,
+                    cfg: &s.cfg,
+                    accepted: &s.accepted,
+                })
+                .collect();
+            execute_cluster(&specs, bus_seed)
+        };
+        let events_processed: u64 = outputs.iter().map(|o| o.events_processed).sum();
+        let jobs: Vec<DeploymentReport> = self
+            .jobs
+            .into_iter()
+            .zip(outputs)
+            .map(|(slot, outcome)| {
+                assemble_report(
+                    &slot.pipeline,
+                    &slot.cfg,
+                    &slot.accepted,
+                    outcome,
+                    self.cost_report,
+                )
+            })
+            .collect();
+        ClusterReport {
+            policy: self.policy.name(),
+            jobs,
+            rejected: self.rejected,
+            events_processed,
+        }
+    }
+}
+
+/// Result of one cluster run: one [`DeploymentReport`] per job plus the
+/// cluster-level aggregates (global throughput loss, rejection counts,
+/// total events processed).
+///
+/// ```
+/// use freeride_core::{Cluster, ClusterJob, FirstFit, Submission};
+/// use freeride_pipeline::{ModelSpec, PipelineConfig};
+/// use freeride_tasks::WorkloadKind;
+///
+/// let mut cluster = Cluster::builder()
+///     .job(ClusterJob::new(
+///         PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2),
+///     ))
+///     .policy(FirstFit)
+///     .build();
+/// cluster.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+/// let report = cluster.run();
+///
+/// // Cluster-wide aggregates: events across all jobs, the paper's
+/// // throughput-loss metric over the fleet, per-policy rejections.
+/// assert!(report.events_processed > 0);
+/// let loss = report.global_throughput_loss().expect("cost report enabled");
+/// assert!(loss < 0.05, "FreeRide keeps the fleet's overhead low");
+/// assert_eq!(report.rejections_by_policy().get("first-fit"), Some(&0));
+/// ```
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Name of the placement policy that routed the submissions.
+    pub policy: &'static str,
+    /// Per-job reports, in job order.
+    pub jobs: Vec<DeploymentReport>,
+    /// Submissions no job could host (typed reasons, kept whole).
+    /// In-run (late) rejections stay in their job's report.
+    pub rejected: Vec<RejectedSubmission>,
+    /// Discrete events delivered across every job of the cluster run.
+    pub events_processed: u64,
+}
+
+impl ClusterReport {
+    /// All rejections: cluster-level (at submission) plus per-job in-run
+    /// ones.
+    pub fn total_rejections(&self) -> usize {
+        self.rejected.len() + self.jobs.iter().map(|j| j.rejected.len()).sum::<usize>()
+    }
+
+    /// Rejection counts keyed by the policy that produced them (one entry
+    /// per run; sweeps merge the maps across runs to compare policies).
+    pub fn rejections_by_policy(&self) -> BTreeMap<&'static str, usize> {
+        BTreeMap::from([(self.policy, self.total_rejections())])
+    }
+
+    /// The cluster-wide throughput loss: the fleet's summed training time
+    /// against the summed no-side-task baselines, `Σ T_with / Σ T_base −
+    /// 1`. `None` unless every job ran with the cost report enabled.
+    pub fn global_throughput_loss(&self) -> Option<f64> {
+        let mut with = 0.0;
+        let mut base = 0.0;
+        for j in &self.jobs {
+            with += j.total_time.as_secs_f64();
+            base += j.baseline_time?.as_secs_f64();
+        }
+        if base == 0.0 {
+            return None;
+        }
+        Some(with / base - 1.0)
+    }
+
+    /// Total side-task steps harvested across the fleet.
+    pub fn total_steps(&self) -> u64 {
+        self.jobs
+            .iter()
+            .flat_map(|j| j.tasks.iter().map(|t| t.steps))
+            .sum()
+    }
+
+    /// The fleet's makespan: the longest job's training time.
+    pub fn makespan(&self) -> SimDuration {
+        self.jobs
+            .iter()
+            .map(|j| j.total_time)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeride_pipeline::ModelSpec;
+    use freeride_tasks::WorkloadKind;
+
+    fn pipeline(model: ModelSpec, epochs: usize) -> PipelineConfig {
+        PipelineConfig::paper_default(model).with_epochs(epochs)
+    }
+
+    fn two_job_cluster(policy: impl PlacementPolicy + 'static) -> Cluster {
+        Cluster::builder()
+            .job(ClusterJob::new(pipeline(ModelSpec::nanogpt_3_6b(), 2)).seed(1))
+            .job(ClusterJob::new(pipeline(ModelSpec::nanogpt_1_2b(), 2)).seed(2))
+            .policy(policy)
+            .cost_report(false)
+            .build()
+    }
+
+    #[test]
+    fn builder_rejects_empty_cluster() {
+        let r = std::panic::catch_unwind(|| Cluster::builder().build());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn first_fit_piles_onto_the_first_fitting_slot() {
+        let mut c = two_job_cluster(FirstFit);
+        let a = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        let b = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        assert_eq!((a.job(), b.job()), (0, 0));
+        let report = c.run();
+        // Pinned placement: both on the first worker that fits PageRank.
+        assert_eq!(a.worker(), b.worker());
+        assert_eq!(report.jobs[0].tasks.len(), 2);
+        assert!(report.jobs[1].tasks.is_empty());
+    }
+
+    #[test]
+    fn least_loaded_spreads_across_slots() {
+        let mut c = two_job_cluster(LeastLoaded);
+        let handles: Vec<_> = (0..4)
+            .map(|_| c.submit(Submission::new(WorkloadKind::PageRank)).unwrap())
+            .collect();
+        let report = c.run();
+        let mut placements: Vec<(usize, usize)> = handles
+            .iter()
+            .map(|h| (h.job(), h.worker().unwrap()))
+            .collect();
+        placements.sort_unstable();
+        placements.dedup();
+        assert_eq!(placements.len(), 4, "four distinct slots used");
+        assert_eq!(report.total_rejections(), 0);
+    }
+
+    #[test]
+    fn cluster_wide_rejection_carries_the_global_best() {
+        let mut c = two_job_cluster(FirstFit);
+        let global_best = c.view().best_free();
+        let err = c
+            .submit(Submission::custom("huge", MemBytes::from_gib(64), |seed| {
+                WorkloadKind::PageRank.build(seed)
+            }))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::InsufficientMemory {
+                needed: MemBytes::from_gib(64),
+                best_worker_free: global_best,
+            }
+        );
+        let report = c.run();
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.total_rejections(), 1);
+        assert_eq!(report.rejections_by_policy().get("first-fit"), Some(&1));
+    }
+
+    #[test]
+    fn min_tasks_job_balances_jobs_not_workers() {
+        let mut c = two_job_cluster(MinTasksJob);
+        let a = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        let b = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        let d = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        // Round-robin across jobs by admitted count: 0, 1, 0.
+        assert_eq!((a.job(), b.job(), d.job()), (0, 1, 0));
+        let report = c.run();
+        assert_eq!(report.jobs[0].tasks.len(), 2);
+        assert_eq!(report.jobs[1].tasks.len(), 1);
+    }
+
+    #[test]
+    fn report_aggregates_events_and_steps() {
+        let mut c = two_job_cluster(MinTasksJob);
+        for _ in 0..2 {
+            c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        }
+        let report = c.run();
+        assert_eq!(
+            report.events_processed,
+            report.jobs.iter().map(|j| j.events_processed).sum::<u64>()
+        );
+        assert!(report.jobs.iter().all(|j| j.events_processed > 0));
+        assert!(report.total_steps() > 0);
+        assert_eq!(
+            report.makespan(),
+            report.jobs[0].total_time.max(report.jobs[1].total_time)
+        );
+        // cost_report(false): no baselines, no global loss.
+        assert!(report.global_throughput_loss().is_none());
+    }
+
+    #[test]
+    fn per_job_modes_and_seeds_are_respected() {
+        let mut c = Cluster::builder()
+            .job(
+                ClusterJob::new(pipeline(ModelSpec::nanogpt_3_6b(), 2))
+                    .interface(InterfaceKind::Imperative)
+                    .seed(11),
+            )
+            .job(
+                ClusterJob::new(pipeline(ModelSpec::nanogpt_3_6b(), 2))
+                    .mode(ColocationMode::Mps)
+                    .seed(12),
+            )
+            .cost_report(false)
+            .build();
+        assert_eq!(
+            c.job_config(0).mode,
+            ColocationMode::FreeRide(InterfaceKind::Imperative)
+        );
+        assert_eq!(c.job_config(1).mode, ColocationMode::Mps);
+        assert_eq!(c.job_config(0).seed, 11);
+        c.submit_to_job(0, Submission::new(WorkloadKind::PageRank))
+            .unwrap();
+        c.submit_to_job(1, Submission::new(WorkloadKind::PageRank))
+            .unwrap();
+        let report = c.run();
+        assert_eq!(
+            report.jobs[0].mode,
+            ColocationMode::FreeRide(InterfaceKind::Imperative)
+        );
+        assert_eq!(report.jobs[1].mode, ColocationMode::Mps);
+    }
+}

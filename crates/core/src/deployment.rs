@@ -24,13 +24,18 @@
 //! thin wrappers so the paper-experiment binaries reproduce identical
 //! numbers.
 //!
+//! Since the cluster API, a `Deployment` is itself a thin wrapper over a
+//! **one-job [`Cluster`]** under the [`MinTasksJob`] policy — same byte
+//! stream, one code path.
+//!
 //! [`SideTaskManager::submit`]: crate::manager::SideTaskManager::submit
 //! [`WorkloadKind`]: freeride_tasks::WorkloadKind
 
+use crate::cluster::{Cluster, ClusterJob, MinTasksJob};
 use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
 use crate::manager::SubmitError;
 use crate::metrics::{evaluate, BubbleBreakdown, CostReport, TaskWork};
-use crate::orchestrator::{execute, ColocationRun, TaskSummary};
+use crate::orchestrator::{ColocationRun, ExecutionOutput, TaskSummary};
 use crate::state::SideTaskState;
 use crate::task::{Misbehavior, StopReason, TaskId};
 use freeride_gpu::MemBytes;
@@ -297,6 +302,10 @@ pub struct TaskHandle {
 }
 
 impl TaskHandle {
+    pub(crate) fn new(id: TaskId, tag: WorkloadTag, outcome: Arc<OnceLock<TaskSummary>>) -> Self {
+        TaskHandle { id, tag, outcome }
+    }
+
     /// The id assigned at submission.
     pub fn id(&self) -> TaskId {
         self.id
@@ -343,7 +352,10 @@ pub(crate) struct AcceptedSubmission {
     pub(crate) id: TaskId,
     pub(crate) submission: Submission,
     pub(crate) profile: WorkloadProfile,
-    outcome: Arc<OnceLock<TaskSummary>>,
+    /// Worker pinned by a cluster-level placement policy; `None` defers
+    /// worker selection to the job manager's Algorithm 1 at arrival time.
+    pub(crate) pinned: Option<usize>,
+    pub(crate) outcome: Arc<OnceLock<TaskSummary>>,
 }
 
 /// Fluent configuration for a [`Deployment`].
@@ -411,12 +423,11 @@ impl DeploymentBuilder {
     /// Finishes configuration.
     pub fn build(self) -> Deployment {
         Deployment {
-            pipeline: self.pipeline,
-            cfg: self.cfg,
-            cost_report: self.cost_report,
-            next_id: 0,
-            accepted: Vec::new(),
-            rejected: Vec::new(),
+            cluster: Cluster::builder()
+                .job(ClusterJob::new(self.pipeline).config(self.cfg))
+                .policy(MinTasksJob)
+                .cost_report(self.cost_report)
+                .build(),
         }
     }
 }
@@ -441,12 +452,11 @@ impl DeploymentBuilder {
 /// assert!(report.cost.unwrap().cost_savings > 0.0);
 /// ```
 pub struct Deployment {
-    pipeline: PipelineConfig,
-    cfg: FreeRideConfig,
-    cost_report: bool,
-    next_id: u64,
-    accepted: Vec<AcceptedSubmission>,
-    rejected: Vec<RejectedSubmission>,
+    /// A deployment *is* a one-job [`Cluster`] under the [`MinTasksJob`]
+    /// policy — the cluster-level analogue of the paper's Algorithm 1,
+    /// which for a single job defers every placement to the job manager,
+    /// exactly as the pre-cluster orchestrator did.
+    cluster: Cluster,
 }
 
 impl Deployment {
@@ -458,7 +468,7 @@ impl Deployment {
 
     /// The middleware configuration this deployment runs under.
     pub fn config(&self) -> &FreeRideConfig {
-        &self.cfg
+        self.cluster.job_config(0)
     }
 
     /// Submits a side task. Admission is checked immediately — the bubble
@@ -468,43 +478,9 @@ impl Deployment {
     /// time. Rejected submissions are also kept (whole) in the final
     /// report.
     pub fn submit(&mut self, submission: Submission) -> Result<TaskHandle, SubmitError> {
-        let id = TaskId(self.next_id);
-        self.next_id += 1;
-        let admitted = submission.profile().and_then(|profile| {
-            let best = (0..self.pipeline.stages)
-                .map(|st| self.pipeline.stage_free_memory(st))
-                .max()
-                .unwrap_or(MemBytes::ZERO);
-            if profile.gpu_mem >= best {
-                Err(SubmitError::InsufficientMemory {
-                    needed: profile.gpu_mem,
-                    best_worker_free: best,
-                })
-            } else {
-                Ok(profile)
-            }
-        });
-        match admitted {
-            Ok(profile) => {
-                let outcome = Arc::new(OnceLock::new());
-                let handle = TaskHandle {
-                    id,
-                    tag: submission.tag().clone(),
-                    outcome: Arc::clone(&outcome),
-                };
-                self.accepted.push(AcceptedSubmission {
-                    id,
-                    submission,
-                    profile,
-                    outcome,
-                });
-                Ok(handle)
-            }
-            Err(error) => {
-                self.rejected.push(RejectedSubmission { submission, error });
-                Err(error)
-            }
-        }
+        self.cluster
+            .submit(submission)
+            .map(|handle| handle.into_task_handle())
     }
 
     /// Runs pipeline training co-located with every accepted submission to
@@ -514,60 +490,83 @@ impl Deployment {
     /// # Panics
     ///
     /// Panics if the configuration fails [`FreeRideConfig::validate`].
-    pub fn run(mut self) -> DeploymentReport {
-        self.cfg.validate();
-        let outcome = execute(&self.pipeline, &self.cfg, &self.accepted);
+    pub fn run(self) -> DeploymentReport {
+        let cluster_report = self.cluster.run();
+        let mut jobs = cluster_report.jobs;
+        let mut report = jobs.pop().expect("a deployment wraps exactly one job");
+        // Submission-time rejections precede in-run ones, as they always
+        // did.
+        let mut rejected = cluster_report.rejected;
+        rejected.append(&mut report.rejected);
+        report.rejected = rejected;
+        report
+    }
+}
 
-        // Id-indexed lookups: one map build instead of a linear scan per
-        // accepted submission (sweeps submit hundreds of tasks).
+/// Assembles one job's raw execution output into a [`DeploymentReport`]:
+/// resolves task handles, folds in-run rejections back onto their
+/// submissions, and (when enabled) trains the no-side-task baseline for
+/// the paper's cost metrics. Shared by [`Deployment::run`] and
+/// [`crate::Cluster::run`].
+pub(crate) fn assemble_report(
+    pipeline: &PipelineConfig,
+    cfg: &FreeRideConfig,
+    accepted: &[AcceptedSubmission],
+    mut outcome: ExecutionOutput,
+    cost_report: bool,
+) -> DeploymentReport {
+    // Id-indexed lookups: one map build instead of a linear scan per
+    // accepted submission (sweeps submit hundreds of tasks).
+    {
         let by_id: BTreeMap<TaskId, &TaskSummary> =
             outcome.tasks.iter().map(|t| (t.id, t)).collect();
-        for acc in &self.accepted {
+        for acc in accepted {
             if let Some(summary) = by_id.get(&acc.id) {
                 let _ = acc.outcome.set((*summary).clone());
             }
         }
-        if !outcome.late_rejected.is_empty() {
-            let accepted_by_id: BTreeMap<TaskId, &AcceptedSubmission> =
-                self.accepted.iter().map(|a| (a.id, a)).collect();
-            for (id, error) in outcome.late_rejected {
-                if let Some(acc) = accepted_by_id.get(&id) {
-                    self.rejected.push(RejectedSubmission {
-                        submission: acc.submission.clone(),
-                        error,
-                    });
-                }
+    }
+    let mut rejected = Vec::new();
+    if !outcome.late_rejected.is_empty() {
+        let accepted_by_id: BTreeMap<TaskId, &AcceptedSubmission> =
+            accepted.iter().map(|a| (a.id, a)).collect();
+        for (id, error) in std::mem::take(&mut outcome.late_rejected) {
+            if let Some(acc) = accepted_by_id.get(&id) {
+                rejected.push(RejectedSubmission {
+                    submission: acc.submission.clone(),
+                    error,
+                });
             }
         }
+    }
 
-        let (baseline_time, cost) = if self.cost_report {
-            let baseline = run_training(&self.pipeline, self.cfg.schedule).total_time;
-            let work: Vec<TaskWork> = outcome
-                .tasks
-                .iter()
-                .map(|t| TaskWork::new(&t.profile, t.steps))
-                .collect();
-            (
-                Some(baseline),
-                Some(evaluate(baseline, outcome.total_time, &work)),
-            )
-        } else {
-            (None, None)
-        };
+    let (baseline_time, cost) = if cost_report {
+        let baseline = run_training(pipeline, cfg.schedule).total_time;
+        let work: Vec<TaskWork> = outcome
+            .tasks
+            .iter()
+            .map(|t| TaskWork::new(&t.profile, t.steps))
+            .collect();
+        (
+            Some(baseline),
+            Some(evaluate(baseline, outcome.total_time, &work)),
+        )
+    } else {
+        (None, None)
+    };
 
-        DeploymentReport {
-            mode: self.cfg.mode,
-            total_time: outcome.total_time,
-            epoch_times: outcome.epoch_times,
-            tasks: outcome.tasks,
-            rejected: self.rejected,
-            breakdown: outcome.breakdown,
-            trace: outcome.trace,
-            bubbles_reported: outcome.bubbles_reported,
-            events_processed: outcome.events_processed,
-            baseline_time,
-            cost,
-        }
+    DeploymentReport {
+        mode: cfg.mode,
+        total_time: outcome.total_time,
+        epoch_times: outcome.epoch_times,
+        tasks: outcome.tasks,
+        rejected,
+        breakdown: outcome.breakdown,
+        trace: outcome.trace,
+        bubbles_reported: outcome.bubbles_reported,
+        events_processed: outcome.events_processed,
+        baseline_time,
+        cost,
     }
 }
 

@@ -18,10 +18,19 @@
 //!   [`Submission::custom`], hands back [`TaskHandle`]s for per-task
 //!   outcome lookup, and reports typed [`SubmitError`]s instead of a
 //!   unit rejection;
-//! * the **orchestrator** wiring the instrumented pipeline trainer,
-//!   manager, and workers together over latency-modelled RPC (driven by
-//!   [`Deployment::run`]; the legacy batch wrapper [`run_colocation`]
-//!   remains for the paper-experiment binaries);
+//! * the **`Cluster` multi-job API** ([`Cluster`]): N pipeline-training
+//!   jobs — each with its own pipeline, seed, and mode — advancing in
+//!   **one** deterministic simulation behind a single cluster-wide
+//!   admission plane, with pluggable [`PlacementPolicy`] routing
+//!   ([`FirstFit`], [`BestFitMemory`], [`LeastLoaded`], [`MinTasksJob`]),
+//!   cross-job spillover on memory pressure, and a [`ClusterReport`]
+//!   aggregating per-job reports plus fleet-level metrics
+//!   ([`Deployment`] is a thin wrapper over a one-job cluster);
+//! * the **orchestrator** wiring the instrumented pipeline trainers,
+//!   managers, and workers together over one latency-modelled RPC bus
+//!   with a job-qualified endpoint namespace (driven by
+//!   [`Deployment::run`] / [`Cluster::run`]; the legacy batch wrapper
+//!   [`run_colocation`] remains for the paper-experiment binaries);
 //! * the **baselines** of §6.1.2 (MPS and naive co-location) and the
 //!   **metrics** of §6.1.5 (time increase `I`, cost savings `S`, Fig. 9
 //!   bubble accounting).
@@ -48,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod config;
 mod deployment;
 mod manager;
@@ -58,11 +68,16 @@ mod state;
 mod task;
 mod worker;
 
+pub use cluster::{
+    BestFitMemory, Cluster, ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle,
+    ClusterView, FirstFit, JobView, LeastLoaded, MinTasksJob, Placement, PlacementPolicy,
+    WorkerView,
+};
 pub use config::{ColocationMode, FreeRideConfig, InterfaceKind};
 pub use deployment::{
     Deployment, DeploymentBuilder, DeploymentReport, RejectedSubmission, Submission, TaskHandle,
 };
-pub use manager::{ManagerCmd, PlacementPolicy, SideTaskManager, SubmitError, WorkerMeta};
+pub use manager::{ManagerCmd, SideTaskManager, SubmitError, WorkerMeta, WorkerPolicy};
 pub use metrics::{
     evaluate, time_increase, BreakdownFractions, BubbleBreakdown, CostReport, TaskWork,
 };

@@ -170,9 +170,12 @@ impl WorkerMeta {
     }
 }
 
-/// How Algorithm 1 chooses among workers with enough bubble memory.
+/// How Algorithm 1 chooses among **one job's** workers with enough bubble
+/// memory. (Cluster-level routing across jobs is the separate, pluggable
+/// [`PlacementPolicy`](crate::cluster::PlacementPolicy) trait; this enum
+/// is the paper's intra-job worker selection.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum PlacementPolicy {
+pub enum WorkerPolicy {
     /// The paper's policy: fewest assigned tasks wins (lines 6–9).
     #[default]
     MinTasks,
@@ -185,7 +188,7 @@ pub enum PlacementPolicy {
 /// The side-task manager.
 pub struct SideTaskManager {
     workers: Vec<WorkerMeta>,
-    policy: PlacementPolicy,
+    policy: WorkerPolicy,
 }
 
 impl SideTaskManager {
@@ -195,12 +198,12 @@ impl SideTaskManager {
         assert!(!worker_mem.is_empty(), "need at least one worker");
         SideTaskManager {
             workers: worker_mem.into_iter().map(WorkerMeta::new).collect(),
-            policy: PlacementPolicy::MinTasks,
+            policy: WorkerPolicy::MinTasks,
         }
     }
 
     /// Overrides the placement policy (builder style; ablation).
-    pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {
+    pub fn with_policy(mut self, policy: WorkerPolicy) -> Self {
         self.policy = policy;
         self
     }
@@ -240,18 +243,18 @@ impl SideTaskManager {
         for (i, w) in self.workers.iter().enumerate() {
             if w.gpu_mem > mem {
                 match self.policy {
-                    PlacementPolicy::MinTasks => {
+                    WorkerPolicy::MinTasks => {
                         let n = w.task_count();
                         if n < best_key.0 {
                             best_key.0 = n;
                             selected = Some(i);
                         }
                     }
-                    PlacementPolicy::FirstFit => {
+                    WorkerPolicy::FirstFit => {
                         selected = Some(i);
                         break;
                     }
-                    PlacementPolicy::MostMemory => {
+                    WorkerPolicy::MostMemory => {
                         if w.gpu_mem > best_key.1 {
                             best_key.1 = w.gpu_mem;
                             selected = Some(i);
@@ -267,6 +270,36 @@ impl SideTaskManager {
             });
         };
         self.workers[worker].task_queue.push_back(TaskView {
+            id,
+            mem,
+            state: SideTaskState::Submitted,
+            awaiting_ack: true, // Create outstanding
+        });
+        Ok((worker, ManagerCmd::Create { worker, task: id }))
+    }
+
+    /// Places a new task on a **specific** worker — the pinned form of
+    /// [`SideTaskManager::submit`], used when a cluster-level
+    /// [`PlacementPolicy`](crate::cluster::PlacementPolicy) has already
+    /// chosen the worker. The same admission bound applies, but only
+    /// against the pinned worker: its bubble memory must strictly exceed
+    /// the task's footprint (`best_worker_free` in the error then reports
+    /// that worker's memory, not the global best).
+    pub fn submit_to(
+        &mut self,
+        id: TaskId,
+        mem: MemBytes,
+        worker: usize,
+    ) -> Result<(usize, ManagerCmd), SubmitError> {
+        assert!(worker < self.workers.len(), "worker {worker} out of range");
+        let w = &mut self.workers[worker];
+        if w.gpu_mem <= mem {
+            return Err(SubmitError::InsufficientMemory {
+                needed: mem,
+                best_worker_free: w.gpu_mem,
+            });
+        }
+        w.task_queue.push_back(TaskView {
             id,
             mem,
             state: SideTaskState::Submitted,
@@ -507,6 +540,44 @@ mod tests {
     }
 
     #[test]
+    fn submit_error_display_covers_every_variant() {
+        // Each variant's Display must surface its payload: the operator
+        // acts on these strings.
+        let mem = SubmitError::InsufficientMemory {
+            needed: gib(30),
+            best_worker_free: gib(26),
+        };
+        let msg = mem.to_string();
+        assert!(msg.contains("bubble GPU memory"), "{msg}");
+
+        let batch = SubmitError::InvalidBatch { batch: 0 };
+        let msg = batch.to_string();
+        assert!(msg.contains("invalid batch size 0"), "{msg}");
+        assert!(msg.contains("positive"), "{msg}");
+
+        let late = SubmitError::ArrivedAfterShutdown {
+            arrival: SimTime::from_millis(12_345),
+        };
+        let msg = late.to_string();
+        assert!(msg.contains("after pipeline training finished"), "{msg}");
+        assert!(
+            msg.contains(&SimTime::from_millis(12_345).to_string()),
+            "arrival timestamp in message: {msg}"
+        );
+
+        // Debug formatting (the other format path reports use) stays
+        // structured and lossless.
+        let dbg = format!("{mem:?}");
+        assert!(dbg.contains("InsufficientMemory"), "{dbg}");
+        assert!(format!("{batch:?}").contains("InvalidBatch"));
+        assert!(format!("{late:?}").contains("ArrivedAfterShutdown"));
+
+        // And SubmitError is a real std error.
+        let as_err: &dyn std::error::Error = &mem;
+        assert!(as_err.source().is_none());
+    }
+
+    #[test]
     fn small_task_can_go_anywhere() {
         let mut m = manager();
         let (w, _) = m.submit(TaskId(0), gib(1)).unwrap();
@@ -674,7 +745,7 @@ mod tests {
 
     #[test]
     fn first_fit_policy_ignores_load() {
-        let mut m = manager().with_policy(PlacementPolicy::FirstFit);
+        let mut m = manager().with_policy(WorkerPolicy::FirstFit);
         let (w, _) = m.submit(TaskId(0), gib(3)).unwrap();
         assert_eq!(w, 1);
         let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
@@ -683,11 +754,39 @@ mod tests {
 
     #[test]
     fn most_memory_policy_prefers_late_stages() {
-        let mut m = manager().with_policy(PlacementPolicy::MostMemory);
+        let mut m = manager().with_policy(WorkerPolicy::MostMemory);
         let (w, _) = m.submit(TaskId(0), gib(3)).unwrap();
         assert_eq!(w, 3, "stage 3 has the most bubble memory");
         let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
         assert_eq!(w, 3);
+    }
+
+    #[test]
+    fn submit_to_pins_the_worker_and_checks_only_its_memory() {
+        let mut m = manager();
+        // Pinned to worker 0 (2 GiB): a 1 GiB task fits, a 3 GiB task is
+        // rejected against *that* worker even though worker 3 could host it.
+        let (w, cmd) = m.submit_to(TaskId(0), gib(1), 0).unwrap();
+        assert_eq!(w, 0);
+        assert_eq!(
+            cmd,
+            ManagerCmd::Create {
+                worker: 0,
+                task: TaskId(0)
+            }
+        );
+        assert_eq!(
+            m.submit_to(TaskId(1), gib(3), 0).unwrap_err(),
+            SubmitError::InsufficientMemory {
+                needed: gib(3),
+                best_worker_free: gib(2),
+            }
+        );
+        // Pinning overrides load balancing: a second task lands on the
+        // same pinned worker.
+        let (w, _) = m.submit_to(TaskId(2), gib(1), 0).unwrap();
+        assert_eq!(w, 0);
+        assert_eq!(m.worker(0).task_count(), 2);
     }
 
     #[test]

@@ -2,9 +2,18 @@
 //! per-GPU workers, and RPC wiring, composed into one deterministic
 //! simulation world (Fig. 3 and Fig. 5 of the paper).
 //!
-//! The public entry point is the session-style [`Deployment`] API (see
-//! [`crate::deployment`]); this module owns the simulation world it runs
-//! on, plus the legacy batch wrappers [`run_colocation`] and
+//! Since the cluster API the world is **job-multiplexed**: one
+//! discrete-event simulation hosts N independent pipeline-training jobs
+//! (each a [`JobRuntime`]: its own engine, manager, workers, and devices,
+//! under its own seed and mode), wired through a **single shared
+//! [`RpcBus`]** whose endpoints live in a job-qualified [`Directory`]
+//! namespace (`"job3/worker1"`). Every event carries its job index, so the
+//! event loop dispatches to exactly one job's state machine — a one-job
+//! cluster is byte-identical to the pre-cluster single-job orchestrator.
+//!
+//! The public entry points are the session-style [`Deployment`] and
+//! [`Cluster`](crate::Cluster) APIs; this module owns the simulation world
+//! they run on, plus the legacy batch wrappers [`run_colocation`] and
 //! [`run_baseline`] kept for the paper-experiment binaries.
 //!
 //! The same orchestrator also runs the two baselines of §6.1.2 — MPS
@@ -15,9 +24,10 @@
 //! Side tasks arrive **online**: each submission carries an arrival time,
 //! and arrivals after t = 0 are simulation events that feed
 //! [`SideTaskManager::submit`] mid-run — the task is placed by
-//! Algorithm 1 against the bubbles that remain. Submissions arriving
-//! after training finished are recorded as rejected with
-//! [`SubmitError::ArrivedAfterShutdown`].
+//! Algorithm 1 against the bubbles that remain (or lands on the worker a
+//! cluster [`PlacementPolicy`](crate::cluster::PlacementPolicy) pinned at
+//! submission time). Submissions arriving after training finished are
+//! recorded as rejected with [`SubmitError::ArrivedAfterShutdown`].
 
 use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
 use crate::deployment::{AcceptedSubmission, Deployment, RejectedSubmission, Submission};
@@ -28,7 +38,7 @@ use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
 use crate::worker::{Worker, WorkerEffect};
 use freeride_gpu::{GpuDevice, GpuId, MpsPrioritized, ProcessId, TimeSliced};
 use freeride_pipeline::{BubbleReport, EngineAction, PipelineConfig, PipelineEngine};
-use freeride_rpc::{Directory, Endpoint, Envelope, LatencyModel, RpcBus};
+use freeride_rpc::{job_scope, Directory, Endpoint, Envelope, LatencyModel, RpcBus};
 use freeride_sim::{
     DetRng, EventId, RunOutcome, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder, World,
 };
@@ -120,7 +130,7 @@ enum Ev {
     ManagerPollOnce,
     Deliver(Envelope<Msg>),
     /// An online submission's arrival time was reached (index into
-    /// `OrchestratorWorld::arrivals`).
+    /// `JobRuntime::arrivals`).
     Arrival(usize),
     InitDone {
         worker: usize,
@@ -137,23 +147,38 @@ enum Ev {
     },
 }
 
+/// A per-job event in the cluster-wide queue: the job index plus that
+/// job's event alphabet. The cluster world dispatches on `job`, so jobs
+/// interleave in virtual time but never share mutable state.
+struct ClusterEv {
+    job: usize,
+    ev: Ev,
+}
+
 /// An online submission waiting for its arrival event.
 struct ArrivalSlot {
     id: TaskId,
     tag: WorkloadTag,
     profile: WorkloadProfile,
     misbehavior: Misbehavior,
+    /// Worker pinned by a cluster-level placement policy, if any; `None`
+    /// defers to the job manager's Algorithm 1.
+    pinned: Option<usize>,
     workload: Box<dyn SideTaskWorkload>,
 }
 
-struct OrchestratorWorld {
+/// One training job's complete simulation state: pipeline engine, manager,
+/// workers, devices, and bookkeeping — everything except the RPC bus,
+/// which is shared across all jobs of the cluster.
+struct JobRuntime {
+    /// This job's index in the cluster (tags every scheduled event).
+    job: usize,
     cfg: FreeRideConfig,
     interface: InterfaceKind,
     devices: Vec<GpuDevice>,
     engine: PipelineEngine,
     manager: SideTaskManager,
     workers: Vec<Worker>,
-    bus: RpcBus,
     ep_trainer: Endpoint,
     ep_manager: Endpoint,
     ep_workers: Vec<Endpoint>,
@@ -175,13 +200,21 @@ struct OrchestratorWorld {
     bubbles_reported: u64,
     training_done: bool,
     stops_issued: bool,
+    /// Events delivered to this job (sums to the simulation total across
+    /// the cluster).
+    events_processed: u64,
     /// Reusable buffer for manager poll commands; the management tick
     /// fires on every bubble, ack, and poll interval, so it must not
     /// allocate.
     cmd_buf: Vec<ManagerCmd>,
 }
 
-impl OrchestratorWorld {
+impl JobRuntime {
+    /// Wraps a job-local event for the cluster-wide queue.
+    fn ev(&self, ev: Ev) -> ClusterEv {
+        ClusterEv { job: self.job, ev }
+    }
+
     fn is_freeride(&self) -> bool {
         matches!(self.cfg.mode, ColocationMode::FreeRide(_))
     }
@@ -198,18 +231,21 @@ impl OrchestratorWorld {
         from: Endpoint,
         to: Endpoint,
         msg: Msg,
-        s: &mut Scheduler<'_, Ev>,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
     ) {
-        let (at, env) = self.bus.send(now, from, to, msg);
-        s.schedule_at(at, Ev::Deliver(env));
+        let (at, env) = bus.send(now, from, to, msg);
+        let ev = self.ev(Ev::Deliver(env));
+        s.schedule_at(at, ev);
     }
 
-    fn resync_device(&mut self, g: usize, s: &mut Scheduler<'_, Ev>) {
+    fn resync_device(&mut self, g: usize, s: &mut Scheduler<'_, ClusterEv>) {
         if let Some(id) = self.tick_ids[g].take() {
             s.cancel(id);
         }
         if let Some(t) = self.devices[g].next_completion_time() {
-            self.tick_ids[g] = Some(s.schedule_at(t, Ev::DeviceTick(g)));
+            let ev = self.ev(Ev::DeviceTick(g));
+            self.tick_ids[g] = Some(s.schedule_at(t, ev));
         }
     }
 
@@ -224,32 +260,42 @@ impl OrchestratorWorld {
         &mut self,
         now: SimTime,
         actions: Vec<EngineAction>,
-        s: &mut Scheduler<'_, Ev>,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
     ) {
         for a in actions {
             match a {
                 EngineAction::ScheduleLaunch { stage, at } => {
-                    s.schedule_at(at, Ev::LaunchOp(stage));
+                    let ev = self.ev(Ev::LaunchOp(stage));
+                    s.schedule_at(at, ev);
                 }
                 EngineAction::ScheduleEpochBoundary { at } => {
-                    s.schedule_at(at, Ev::EpochBoundary);
+                    let ev = self.ev(Ev::EpochBoundary);
+                    s.schedule_at(at, ev);
                 }
                 EngineAction::BubbleStart(r) => {
                     if self.is_freeride() {
-                        self.send(now, self.ep_trainer, self.ep_manager, Msg::Bubble(r), s);
+                        self.send(
+                            now,
+                            self.ep_trainer,
+                            self.ep_manager,
+                            Msg::Bubble(r),
+                            bus,
+                            s,
+                        );
                     }
                 }
                 EngineAction::BubbleEnd { .. } => {}
                 EngineAction::EpochEnd { .. } => {}
                 EngineAction::TrainingDone { .. } => {
                     self.training_done = true;
-                    self.issue_stops(now, s);
+                    self.issue_stops(now, bus, s);
                 }
             }
         }
     }
 
-    fn issue_stops(&mut self, now: SimTime, s: &mut Scheduler<'_, Ev>) {
+    fn issue_stops(&mut self, now: SimTime, bus: &mut RpcBus, s: &mut Scheduler<'_, ClusterEv>) {
         if self.stops_issued {
             return;
         }
@@ -278,7 +324,7 @@ impl OrchestratorWorld {
                 self.stop_sent.insert(task);
             }
             let to = self.ep_workers[cmd_worker(&cmd)];
-            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
         }
     }
 
@@ -291,7 +337,8 @@ impl OrchestratorWorld {
         worker: usize,
         task: TaskId,
         state: SideTaskState,
-        s: &mut Scheduler<'_, Ev>,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
     ) -> bool {
         if !self.stops_issued || state == SideTaskState::Stopped || !self.stop_sent.insert(task) {
             return false;
@@ -302,12 +349,18 @@ impl OrchestratorWorld {
             self.ep_manager,
             to,
             Msg::Cmd(ManagerCmd::Stop { worker, task }),
+            bus,
             s,
         );
         true
     }
 
-    fn run_manager_poll(&mut self, now: SimTime, s: &mut Scheduler<'_, Ev>) {
+    fn run_manager_poll(
+        &mut self,
+        now: SimTime,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
         if !self.is_freeride() {
             return;
         }
@@ -316,12 +369,18 @@ impl OrchestratorWorld {
         self.manager.poll_into(now, &mut cmds);
         for cmd in cmds.drain(..) {
             let to = self.ep_workers[cmd_worker(&cmd)];
-            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
         }
         self.cmd_buf = cmds;
     }
 
-    fn handle_arrival(&mut self, now: SimTime, idx: usize, s: &mut Scheduler<'_, Ev>) {
+    fn handle_arrival(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
         let Some(slot) = self.arrivals[idx].take() else {
             return;
         };
@@ -330,7 +389,11 @@ impl OrchestratorWorld {
                 .push((slot.id, SubmitError::ArrivedAfterShutdown { arrival: now }));
             return;
         }
-        match self.manager.submit(slot.id, slot.profile.gpu_mem) {
+        let placed = match slot.pinned {
+            Some(w) => self.manager.submit_to(slot.id, slot.profile.gpu_mem, w),
+            None => self.manager.submit(slot.id, slot.profile.gpu_mem),
+        };
+        match placed {
             Ok((w, cmd)) => {
                 let task = SideTask::new(
                     slot.id,
@@ -344,7 +407,7 @@ impl OrchestratorWorld {
                 self.pending_create.insert(slot.id, task);
                 self.placements.push((slot.id, w, slot.tag, slot.profile));
                 let to = self.ep_workers[w];
-                self.send(now, self.ep_manager, to, Msg::Cmd(cmd), s);
+                self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
             }
             Err(e) => self.late_rejected.push((slot.id, e)),
         }
@@ -355,7 +418,8 @@ impl OrchestratorWorld {
         now: SimTime,
         worker: usize,
         effects: Vec<WorkerEffect>,
-        s: &mut Scheduler<'_, Ev>,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
     ) {
         for e in effects {
             match e {
@@ -370,9 +434,10 @@ impl OrchestratorWorld {
                                 task,
                                 state,
                             },
+                            bus,
                             s,
                         );
-                    } else if !self.stop_straggler(now, worker, task, state, s) {
+                    } else if !self.stop_straggler(now, worker, task, state, bus, s) {
                         // Baselines have no manager loop: drive the task
                         // straight through Init and then run it
                         // continuously (an infinite "bubble").
@@ -391,36 +456,43 @@ impl OrchestratorWorld {
                                 self.ep_manager,
                                 self.ep_workers[worker],
                                 Msg::Cmd(cmd),
+                                bus,
                                 s,
                             );
                         }
                     }
                 }
                 WorkerEffect::ScheduleInitDone { task, at } => {
-                    s.schedule_at(at, Ev::InitDone { worker, task });
+                    let ev = self.ev(Ev::InitDone { worker, task });
+                    s.schedule_at(at, ev);
                 }
                 WorkerEffect::ScheduleStepLaunch { task, at } => {
-                    s.schedule_at(at, Ev::StepLaunch { worker, task });
+                    let ev = self.ev(Ev::StepLaunch { worker, task });
+                    s.schedule_at(at, ev);
                 }
                 WorkerEffect::ScheduleGraceCheck {
                     task,
                     at,
                     requested_at,
                 } => {
-                    s.schedule_at(
-                        at,
-                        Ev::GraceCheck {
-                            worker,
-                            task,
-                            requested_at,
-                        },
-                    );
+                    let ev = self.ev(Ev::GraceCheck {
+                        worker,
+                        task,
+                        requested_at,
+                    });
+                    s.schedule_at(at, ev);
                 }
             }
         }
     }
 
-    fn handle_cmd(&mut self, now: SimTime, cmd: ManagerCmd, s: &mut Scheduler<'_, Ev>) {
+    fn handle_cmd(
+        &mut self,
+        now: SimTime,
+        cmd: ManagerCmd,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
         let wi = cmd_worker(&cmd);
         let effects = match cmd {
             ManagerCmd::Create { task, .. } => {
@@ -446,36 +518,30 @@ impl OrchestratorWorld {
                 self.workers[wi].handle_stop(now, task, &mut self.devices[wi])
             }
         };
-        self.apply_worker_effects(now, wi, effects, s);
+        self.apply_worker_effects(now, wi, effects, bus, s);
         self.resync_device(wi, s);
         self.record_device(now, wi);
     }
-}
 
-fn cmd_worker(cmd: &ManagerCmd) -> usize {
-    match cmd {
-        ManagerCmd::Create { worker, .. }
-        | ManagerCmd::Init { worker, .. }
-        | ManagerCmd::Start { worker, .. }
-        | ManagerCmd::Pause { worker, .. }
-        | ManagerCmd::Stop { worker, .. } => *worker,
-    }
-}
-
-impl World for OrchestratorWorld {
-    type Event = Ev;
-
-    fn handle(&mut self, now: SimTime, event: Ev, s: &mut Scheduler<'_, Ev>) {
+    /// One job's event dispatch — the body of the pre-cluster
+    /// `World::handle`, with the shared bus threaded in.
+    fn handle_ev(
+        &mut self,
+        now: SimTime,
+        event: Ev,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
         match event {
             Ev::LaunchOp(stage) => {
                 let actions = self.engine.launch_due(now, stage, &mut self.devices);
-                self.apply_engine_actions(now, actions, s);
+                self.apply_engine_actions(now, actions, bus, s);
                 self.resync_device(stage, s);
                 self.record_device(now, stage);
             }
             Ev::EpochBoundary => {
                 let actions = self.engine.epoch_boundary(now);
-                self.apply_engine_actions(now, actions, s);
+                self.apply_engine_actions(now, actions, bus, s);
             }
             Ev::DeviceTick(g) => {
                 self.tick_ids[g] = None;
@@ -483,26 +549,27 @@ impl World for OrchestratorWorld {
                 for c in completions {
                     if self.engine.stage_of_pid(c.process).is_some() {
                         let actions = self.engine.on_op_complete(now, g);
-                        self.apply_engine_actions(now, actions, s);
+                        self.apply_engine_actions(now, actions, bus, s);
                     } else if let Some(&(wi, task)) = self.pid_index.get(&c.process) {
                         let fx =
                             self.workers[wi].on_step_complete(now, task, &mut self.devices[wi]);
-                        self.apply_worker_effects(now, wi, fx, s);
+                        self.apply_worker_effects(now, wi, fx, bus, s);
                     }
                 }
                 self.resync_device(g, s);
                 self.record_device(now, g);
             }
             Ev::ManagerPollPeriodic => {
-                self.run_manager_poll(now, s);
+                self.run_manager_poll(now, bus, s);
                 if !self.finished() {
-                    s.schedule_after(self.cfg.manager_poll_interval, Ev::ManagerPollPeriodic);
+                    let ev = self.ev(Ev::ManagerPollPeriodic);
+                    s.schedule_after(self.cfg.manager_poll_interval, ev);
                 }
             }
             Ev::ManagerPollOnce => {
-                self.run_manager_poll(now, s);
+                self.run_manager_poll(now, bus, s);
             }
-            Ev::Arrival(idx) => self.handle_arrival(now, idx, s),
+            Ev::Arrival(idx) => self.handle_arrival(now, idx, bus, s),
             Ev::Deliver(env) => match env.msg {
                 Msg::Bubble(r) => {
                     self.bubbles_reported += 1;
@@ -516,28 +583,29 @@ impl World for OrchestratorWorld {
                         self.bubble_unused += r.duration;
                     }
                     self.manager.add_bubble(r.stage, r);
-                    self.run_manager_poll(now, s);
+                    self.run_manager_poll(now, bus, s);
                     // Pause promptly when the bubble expires.
-                    s.schedule_at(r.predicted_end().max(now), Ev::ManagerPollOnce);
+                    let ev = self.ev(Ev::ManagerPollOnce);
+                    s.schedule_at(r.predicted_end().max(now), ev);
                 }
-                Msg::Cmd(cmd) => self.handle_cmd(now, cmd, s),
+                Msg::Cmd(cmd) => self.handle_cmd(now, cmd, bus, s),
                 Msg::Ack {
                     worker,
                     task,
                     state,
                 } => {
                     self.manager.on_task_state(worker, task, state);
-                    self.stop_straggler(now, worker, task, state, s);
-                    self.run_manager_poll(now, s);
+                    self.stop_straggler(now, worker, task, state, bus, s);
+                    self.run_manager_poll(now, bus, s);
                 }
             },
             Ev::InitDone { worker, task } => {
                 let fx = self.workers[worker].init_done(now, task);
-                self.apply_worker_effects(now, worker, fx, s);
+                self.apply_worker_effects(now, worker, fx, bus, s);
             }
             Ev::StepLaunch { worker, task } => {
                 let fx = self.workers[worker].step_launch_due(now, task, &mut self.devices[worker]);
-                self.apply_worker_effects(now, worker, fx, s);
+                self.apply_worker_effects(now, worker, fx, bus, s);
                 self.resync_device(worker, s);
             }
             Ev::GraceCheck {
@@ -551,7 +619,7 @@ impl World for OrchestratorWorld {
                     requested_at,
                     &mut self.devices[worker],
                 );
-                self.apply_worker_effects(now, worker, fx, s);
+                self.apply_worker_effects(now, worker, fx, bus, s);
                 self.resync_device(worker, s);
                 self.record_device(now, worker);
             }
@@ -559,8 +627,35 @@ impl World for OrchestratorWorld {
     }
 }
 
-/// Raw results of one orchestrated run, assembled by
-/// [`Deployment::run`] into a [`crate::DeploymentReport`].
+fn cmd_worker(cmd: &ManagerCmd) -> usize {
+    match cmd {
+        ManagerCmd::Create { worker, .. }
+        | ManagerCmd::Init { worker, .. }
+        | ManagerCmd::Start { worker, .. }
+        | ManagerCmd::Pause { worker, .. }
+        | ManagerCmd::Stop { worker, .. } => *worker,
+    }
+}
+
+/// The cluster-wide simulation world: N job runtimes sharing one event
+/// queue and one RPC bus.
+struct ClusterWorld {
+    jobs: Vec<JobRuntime>,
+    bus: RpcBus,
+}
+
+impl World for ClusterWorld {
+    type Event = ClusterEv;
+
+    fn handle(&mut self, now: SimTime, event: ClusterEv, s: &mut Scheduler<'_, ClusterEv>) {
+        let job = &mut self.jobs[event.job];
+        job.events_processed += 1;
+        job.handle_ev(now, event.ev, &mut self.bus, s);
+    }
+}
+
+/// Raw results of one orchestrated job, assembled by the session APIs into
+/// a [`crate::DeploymentReport`].
 pub(crate) struct ExecutionOutput {
     pub(crate) total_time: SimDuration,
     pub(crate) epoch_times: Vec<SimDuration>,
@@ -572,232 +667,336 @@ pub(crate) struct ExecutionOutput {
     pub(crate) events_processed: u64,
 }
 
-/// Runs pipeline training co-located with the accepted submissions under
-/// the given mode, to completion.
-pub(crate) fn execute(
-    pipeline_cfg: &PipelineConfig,
-    fr_cfg: &FreeRideConfig,
-    accepted: &[AcceptedSubmission],
-) -> ExecutionOutput {
-    let rng = DetRng::seed_from_u64(fr_cfg.seed);
+/// One job of a cluster execution: its pipeline, middleware config, and
+/// the submissions already admitted to it.
+pub(crate) struct JobExecSpec<'a> {
+    pub(crate) pipeline: &'a PipelineConfig,
+    pub(crate) cfg: &'a FreeRideConfig,
+    pub(crate) accepted: &'a [AcceptedSubmission],
+}
 
-    // Devices with the sharing model the mode implies.
-    let devices: Vec<GpuDevice> = (0..pipeline_cfg.stages)
-        .map(|i| {
-            let model: Box<dyn freeride_gpu::InterferenceModel> = match fr_cfg.mode {
-                ColocationMode::Naive => Box::new(TimeSliced),
-                _ => Box::new(MpsPrioritized::default()),
-            };
-            GpuDevice::new(GpuId(i as u32), pipeline_cfg.gpu_memory, model)
-        })
-        .collect();
+/// Runs N pipeline-training jobs co-located with their accepted
+/// submissions in **one** deterministic simulation, to completion.
+///
+/// `bus_seed` seeds the shared RPC bus's jitter stream. The cluster
+/// defaults it to job 0's seed, which makes a one-job execution's stream
+/// identical to the pre-cluster orchestrator's.
+pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<ExecutionOutput> {
+    assert!(!jobs.is_empty(), "cluster needs at least one job");
 
-    let instr = match fr_cfg.mode {
-        ColocationMode::FreeRide(_) => fr_cfg.instrumentation_overhead,
-        _ => SimDuration::ZERO,
-    };
-    let mut engine = PipelineEngine::new(pipeline_cfg.clone(), fr_cfg.schedule)
-        .with_instrumentation_overhead(instr);
-
+    // One job-qualified directory and one bus span every job. The global
+    // latency model is job 0's; every job's own links get per-link
+    // overrides carrying that job's RPC physics, so heterogeneous configs
+    // coexist on the shared bus.
     let mut directory = Directory::new();
-    let ep_trainer = directory.register("trainer");
-    let ep_manager = directory.register("manager");
-    let ep_workers: Vec<Endpoint> = (0..pipeline_cfg.stages)
-        .map(|i| directory.register(format!("worker{i}")))
-        .collect();
+    let bus_rng = DetRng::seed_from_u64(bus_seed);
+    let mut bus = RpcBus::new(
+        LatencyModel {
+            base: jobs[0].cfg.rpc_latency,
+            jitter_sigma: jobs[0].cfg.rpc_jitter,
+        },
+        bus_rng.derive("rpc"),
+    );
 
-    let worker_mem: Vec<_> = (0..pipeline_cfg.stages)
-        .map(|st| pipeline_cfg.stage_free_memory(st))
-        .collect();
-    let mut manager = SideTaskManager::new(worker_mem);
+    let mut runtimes: Vec<JobRuntime> = Vec::with_capacity(jobs.len());
+    let mut initial_cmds_per_job: Vec<Vec<ManagerCmd>> = Vec::with_capacity(jobs.len());
+    let mut arrival_times_per_job: Vec<Vec<SimTime>> = Vec::with_capacity(jobs.len());
 
-    let interface = match fr_cfg.mode {
-        ColocationMode::FreeRide(i) => i,
-        // Baselines co-run the original (non-step-wise) implementation.
-        _ => InterfaceKind::Imperative,
-    };
+    for (j, spec) in jobs.iter().enumerate() {
+        let pipeline_cfg = spec.pipeline;
+        let fr_cfg = spec.cfg;
 
-    // Build and place the up-front submissions; queue the online ones for
-    // their arrival events.
-    let mut pending_create = BTreeMap::new();
-    let mut late_rejected = Vec::new();
-    let mut placements: Vec<(TaskId, usize, WorkloadTag, WorkloadProfile)> = Vec::new();
-    let mut initial_cmds = Vec::new();
-    let mut arrivals: Vec<Option<ArrivalSlot>> = Vec::new();
-    let mut arrival_times: Vec<SimTime> = Vec::new();
-    for acc in accepted {
-        let id = acc.id;
-        let sub = &acc.submission;
-        if sub.arrival() == SimTime::ZERO {
-            match manager.submit(id, acc.profile.gpu_mem) {
-                Ok((w, cmd)) => {
-                    let task = SideTask::new(
-                        id,
-                        sub.tag().clone(),
-                        acc.profile,
-                        interface,
-                        sub.build_workload(fr_cfg.seed ^ id.0),
-                        SimTime::ZERO,
-                    )
-                    .with_misbehavior(sub.misbehavior());
-                    pending_create.insert(id, task);
-                    placements.push((id, w, sub.tag().clone(), acc.profile));
-                    initial_cmds.push(cmd);
-                }
-                Err(e) => late_rejected.push((id, e)),
-            }
-        } else {
-            arrival_times.push(sub.arrival());
-            arrivals.push(Some(ArrivalSlot {
-                id,
-                tag: sub.tag().clone(),
-                profile: acc.profile,
-                misbehavior: sub.misbehavior(),
-                workload: sub.build_workload(fr_cfg.seed ^ id.0),
-            }));
-        }
-    }
+        // Devices with the sharing model the mode implies.
+        let devices: Vec<GpuDevice> = (0..pipeline_cfg.stages)
+            .map(|i| {
+                let model: Box<dyn freeride_gpu::InterferenceModel> = match fr_cfg.mode {
+                    ColocationMode::Naive => Box::new(TimeSliced),
+                    _ => Box::new(MpsPrioritized::default()),
+                };
+                GpuDevice::new(GpuId(i as u32), pipeline_cfg.gpu_memory, model)
+            })
+            .collect();
 
-    let mut world_devices = devices;
-    engine.init(&mut world_devices);
+        let instr = match fr_cfg.mode {
+            ColocationMode::FreeRide(_) => fr_cfg.instrumentation_overhead,
+            _ => SimDuration::ZERO,
+        };
+        let mut engine = PipelineEngine::new(pipeline_cfg.clone(), fr_cfg.schedule)
+            .with_instrumentation_overhead(instr);
 
-    let mut trace = TraceRecorder::new();
-    for (g, d) in world_devices.iter().enumerate() {
-        trace.record(&format!("gpu{g}.sm"), SimTime::ZERO, 0.0);
-        trace.record(
-            &format!("gpu{g}.mem"),
-            SimTime::ZERO,
-            d.used_mem().as_gib_f64(),
-        );
-    }
+        let scope = job_scope(j);
+        let ep_trainer = directory
+            .register_scoped(&scope, "trainer")
+            .expect("job scopes are unique");
+        let ep_manager = directory
+            .register_scoped(&scope, "manager")
+            .expect("job scopes are unique");
+        let ep_workers: Vec<Endpoint> = (0..pipeline_cfg.stages)
+            .map(|i| {
+                directory
+                    .register_scoped(&scope, &format!("worker{i}"))
+                    .expect("job scopes are unique")
+            })
+            .collect();
 
-    let world = OrchestratorWorld {
-        workers: (0..pipeline_cfg.stages)
-            .map(|i| Worker::new(i, fr_cfg.clone()))
-            .collect(),
-        tick_ids: vec![None; pipeline_cfg.stages],
-        devices: world_devices,
-        engine,
-        manager,
-        bus: RpcBus::new(
-            LatencyModel {
+        // This job's links carry its own RPC physics on the shared bus.
+        // Links whose model equals the global one are left to the default
+        // (sampling is identical either way), so homogeneous clusters —
+        // and every one-job run — keep an empty link table on the send
+        // hot path.
+        if fr_cfg.rpc_latency != jobs[0].cfg.rpc_latency
+            || fr_cfg.rpc_jitter != jobs[0].cfg.rpc_jitter
+        {
+            let link_model = LatencyModel {
                 base: fr_cfg.rpc_latency,
                 jitter_sigma: fr_cfg.rpc_jitter,
-            },
-            rng.derive("rpc"),
-        ),
-        ep_trainer,
-        ep_manager,
-        ep_workers,
-        pending_create,
-        pid_index: BTreeMap::new(),
-        placements,
-        arrivals,
-        late_rejected,
-        stop_sent: BTreeSet::new(),
-        trace,
-        bubble_total: SimDuration::ZERO,
-        bubble_unused: SimDuration::ZERO,
-        bubbles_reported: 0,
-        training_done: false,
-        stops_issued: false,
-        cmd_buf: Vec::new(),
-        interface,
-        cfg: fr_cfg.clone(),
-    };
+            };
+            bus.set_link_latency(ep_trainer, ep_manager, link_model.clone());
+            for &w in &ep_workers {
+                bus.set_link_latency(ep_manager, w, link_model.clone());
+                bus.set_link_latency(w, ep_manager, link_model.clone());
+            }
+        }
 
+        let worker_mem: Vec<_> = (0..pipeline_cfg.stages)
+            .map(|st| pipeline_cfg.stage_free_memory(st))
+            .collect();
+        let mut manager = SideTaskManager::new(worker_mem);
+
+        let interface = match fr_cfg.mode {
+            ColocationMode::FreeRide(i) => i,
+            // Baselines co-run the original (non-step-wise) implementation.
+            _ => InterfaceKind::Imperative,
+        };
+
+        // Build and place the up-front submissions; queue the online ones
+        // for their arrival events.
+        let mut pending_create = BTreeMap::new();
+        let mut late_rejected = Vec::new();
+        let mut placements: Vec<(TaskId, usize, WorkloadTag, WorkloadProfile)> = Vec::new();
+        let mut initial_cmds = Vec::new();
+        let mut arrivals: Vec<Option<ArrivalSlot>> = Vec::new();
+        let mut arrival_times: Vec<SimTime> = Vec::new();
+        for acc in spec.accepted {
+            let id = acc.id;
+            let sub = &acc.submission;
+            if sub.arrival() == SimTime::ZERO {
+                let placed = match acc.pinned {
+                    Some(w) => manager.submit_to(id, acc.profile.gpu_mem, w),
+                    None => manager.submit(id, acc.profile.gpu_mem),
+                };
+                match placed {
+                    Ok((w, cmd)) => {
+                        let task = SideTask::new(
+                            id,
+                            sub.tag().clone(),
+                            acc.profile,
+                            interface,
+                            sub.build_workload(fr_cfg.seed ^ id.0),
+                            SimTime::ZERO,
+                        )
+                        .with_misbehavior(sub.misbehavior());
+                        pending_create.insert(id, task);
+                        placements.push((id, w, sub.tag().clone(), acc.profile));
+                        initial_cmds.push(cmd);
+                    }
+                    Err(e) => late_rejected.push((id, e)),
+                }
+            } else {
+                arrival_times.push(sub.arrival());
+                arrivals.push(Some(ArrivalSlot {
+                    id,
+                    tag: sub.tag().clone(),
+                    profile: acc.profile,
+                    misbehavior: sub.misbehavior(),
+                    pinned: acc.pinned,
+                    workload: sub.build_workload(fr_cfg.seed ^ id.0),
+                }));
+            }
+        }
+
+        let mut world_devices = devices;
+        engine.init(&mut world_devices);
+
+        let mut trace = TraceRecorder::new();
+        for (g, d) in world_devices.iter().enumerate() {
+            trace.record(&format!("gpu{g}.sm"), SimTime::ZERO, 0.0);
+            trace.record(
+                &format!("gpu{g}.mem"),
+                SimTime::ZERO,
+                d.used_mem().as_gib_f64(),
+            );
+        }
+
+        runtimes.push(JobRuntime {
+            job: j,
+            workers: (0..pipeline_cfg.stages)
+                .map(|i| Worker::new(i, fr_cfg.clone()))
+                .collect(),
+            tick_ids: vec![None; pipeline_cfg.stages],
+            devices: world_devices,
+            engine,
+            manager,
+            ep_trainer,
+            ep_manager,
+            ep_workers,
+            pending_create,
+            pid_index: BTreeMap::new(),
+            placements,
+            arrivals,
+            late_rejected,
+            stop_sent: BTreeSet::new(),
+            trace,
+            bubble_total: SimDuration::ZERO,
+            bubble_unused: SimDuration::ZERO,
+            bubbles_reported: 0,
+            training_done: false,
+            stops_issued: false,
+            events_processed: 0,
+            cmd_buf: Vec::new(),
+            interface,
+            cfg: fr_cfg.clone(),
+        });
+        initial_cmds_per_job.push(initial_cmds);
+        arrival_times_per_job.push(arrival_times);
+    }
+
+    let world = ClusterWorld {
+        jobs: runtimes,
+        bus,
+    };
     let mut sim = Simulation::new(world);
 
-    // Seed training.
-    let start_actions = sim.world_mut().engine.start(SimTime::ZERO);
-    for a in start_actions {
-        match a {
-            EngineAction::ScheduleLaunch { stage, at } => {
-                sim.seed_at(at, Ev::LaunchOp(stage));
+    // Seed every job, in job order; within a job the seeding order is the
+    // pre-cluster one (training, create RPCs, arrivals, manager loop), so
+    // a one-job cluster replays the exact historical event sequence.
+    for (j, initial_cmds) in initial_cmds_per_job.into_iter().enumerate() {
+        // Seed training.
+        let start_actions = sim.world_mut().jobs[j].engine.start(SimTime::ZERO);
+        for a in start_actions {
+            match a {
+                EngineAction::ScheduleLaunch { stage, at } => {
+                    sim.seed_at(
+                        at,
+                        ClusterEv {
+                            job: j,
+                            ev: Ev::LaunchOp(stage),
+                        },
+                    );
+                }
+                EngineAction::ScheduleEpochBoundary { at } => {
+                    sim.seed_at(
+                        at,
+                        ClusterEv {
+                            job: j,
+                            ev: Ev::EpochBoundary,
+                        },
+                    );
+                }
+                _ => {}
             }
-            EngineAction::ScheduleEpochBoundary { at } => {
-                sim.seed_at(at, Ev::EpochBoundary);
-            }
-            _ => {}
         }
-    }
-    // Seed task creation RPCs for up-front submissions.
-    {
-        let mut cmd_events = Vec::new();
+        // Seed task creation RPCs for up-front submissions.
         {
-            let w = sim.world_mut();
-            for cmd in initial_cmds {
-                let to = w.ep_workers[cmd_worker(&cmd)];
-                let (at, env) = w.bus.send(SimTime::ZERO, w.ep_manager, to, Msg::Cmd(cmd));
-                cmd_events.push((at, env));
+            let mut cmd_events = Vec::new();
+            {
+                let w = sim.world_mut();
+                for cmd in initial_cmds {
+                    let to = w.jobs[j].ep_workers[cmd_worker(&cmd)];
+                    let from = w.jobs[j].ep_manager;
+                    let (at, env) = w.bus.send(SimTime::ZERO, from, to, Msg::Cmd(cmd));
+                    cmd_events.push((at, env));
+                }
+            }
+            for (at, env) in cmd_events {
+                sim.seed_at(
+                    at,
+                    ClusterEv {
+                        job: j,
+                        ev: Ev::Deliver(env),
+                    },
+                );
             }
         }
-        for (at, env) in cmd_events {
-            sim.seed_at(at, Ev::Deliver(env));
+        // Seed online arrivals and the manager loop.
+        for (idx, at) in arrival_times_per_job[j].iter().enumerate() {
+            sim.seed_at(
+                *at,
+                ClusterEv {
+                    job: j,
+                    ev: Ev::Arrival(idx),
+                },
+            );
         }
+        sim.seed(ClusterEv {
+            job: j,
+            ev: Ev::ManagerPollPeriodic,
+        });
     }
-    // Seed online arrivals and the manager loop.
-    for (idx, at) in arrival_times.into_iter().enumerate() {
-        sim.seed_at(at, Ev::Arrival(idx));
-    }
-    sim.seed(Ev::ManagerPollPeriodic);
 
     let outcome = sim.run_to_quiescence();
     assert_eq!(outcome, RunOutcome::Quiescent, "run must drain");
-    let events_processed = sim.events_processed();
     let world = sim.into_world();
-    assert!(world.engine.is_done(), "training must complete");
-    assert!(world.finished(), "all tasks must stop");
 
-    // Gather results.
-    let mut tasks = Vec::new();
-    for (id, wi, tag, profile) in world.placements {
-        match world.workers[wi].task(id) {
-            Some(t) => tasks.push(TaskSummary {
-                id,
-                kind: tag,
-                worker: wi,
-                steps: t.steps,
-                final_state: t.state(),
-                stop_reason: t.stop_reason,
-                last_value: t.last_value,
-                profile,
-            }),
-            // Placed, but training ended before the Create RPC landed
-            // (online arrival racing the shutdown): never materialised.
-            None => tasks.push(TaskSummary {
-                id,
-                kind: tag,
-                worker: wi,
-                steps: 0,
-                final_state: SideTaskState::Submitted,
-                stop_reason: StopReason::NotStopped,
-                last_value: None,
-                profile,
-            }),
-        }
-    }
-    let mut breakdown = BubbleBreakdown {
-        total: world.bubble_total,
-        unused_oom: world.bubble_unused,
-        ..BubbleBreakdown::default()
-    };
-    for w in &world.workers {
-        let acc = w.accounting();
-        breakdown.running += acc.running;
-        breakdown.insufficient += acc.insufficient;
-    }
+    world
+        .jobs
+        .into_iter()
+        .map(|job| {
+            assert!(job.engine.is_done(), "training must complete");
+            assert!(job.finished(), "all tasks must stop");
 
-    ExecutionOutput {
-        total_time: world.engine.total_time(),
-        epoch_times: world.engine.epoch_times().to_vec(),
-        tasks,
-        breakdown,
-        trace: world.trace,
-        bubbles_reported: world.bubbles_reported,
-        late_rejected: world.late_rejected,
-        events_processed,
-    }
+            // Gather results.
+            let mut tasks = Vec::new();
+            for (id, wi, tag, profile) in job.placements {
+                match job.workers[wi].task(id) {
+                    Some(t) => tasks.push(TaskSummary {
+                        id,
+                        kind: tag,
+                        worker: wi,
+                        steps: t.steps,
+                        final_state: t.state(),
+                        stop_reason: t.stop_reason,
+                        last_value: t.last_value,
+                        profile,
+                    }),
+                    // Placed, but training ended before the Create RPC
+                    // landed (online arrival racing the shutdown): never
+                    // materialised.
+                    None => tasks.push(TaskSummary {
+                        id,
+                        kind: tag,
+                        worker: wi,
+                        steps: 0,
+                        final_state: SideTaskState::Submitted,
+                        stop_reason: StopReason::NotStopped,
+                        last_value: None,
+                        profile,
+                    }),
+                }
+            }
+            let mut breakdown = BubbleBreakdown {
+                total: job.bubble_total,
+                unused_oom: job.bubble_unused,
+                ..BubbleBreakdown::default()
+            };
+            for w in &job.workers {
+                let acc = w.accounting();
+                breakdown.running += acc.running;
+                breakdown.insufficient += acc.insufficient;
+            }
+
+            ExecutionOutput {
+                total_time: job.engine.total_time(),
+                epoch_times: job.engine.epoch_times().to_vec(),
+                tasks,
+                breakdown,
+                trace: job.trace,
+                bubbles_reported: job.bubbles_reported,
+                late_rejected: job.late_rejected,
+                events_processed: job.events_processed,
+            }
+        })
+        .collect()
 }
 
 /// Legacy batch entry point: runs pipeline training co-located with the

@@ -2,6 +2,7 @@
 
 use crate::directory::Endpoint;
 use freeride_sim::{DetRng, SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Correlates a response with its request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -87,8 +88,16 @@ impl RpcStats {
 /// The bus: stamps envelopes, samples latency, and tells the caller when to
 /// deliver. The embedding world schedules the returned `(deliver_at,
 /// envelope)` as a simulation event.
+///
+/// One bus can span several training jobs' endpoints: the global
+/// [`LatencyModel`] is the default, and [`RpcBus::set_link_latency`]
+/// installs per-link overrides keyed by the `(from, to)` endpoint pair —
+/// directory-registered links with their own physics (cross-job traffic,
+/// a slower inter-server hop, a jitter-free test link).
 pub struct RpcBus {
     latency: LatencyModel,
+    /// Per-link overrides; absent links fall back to the global model.
+    links: BTreeMap<(Endpoint, Endpoint), LatencyModel>,
     rng: DetRng,
     next_call: u64,
     stats: RpcStats,
@@ -99,10 +108,23 @@ impl RpcBus {
     pub fn new(latency: LatencyModel, rng: DetRng) -> Self {
         RpcBus {
             latency,
+            links: BTreeMap::new(),
             rng,
             next_call: 0,
             stats: RpcStats::default(),
         }
+    }
+
+    /// Installs (or replaces) a latency model for the directed link
+    /// `from → to`. Links without an override use the global model.
+    pub fn set_link_latency(&mut self, from: Endpoint, to: Endpoint, model: LatencyModel) {
+        self.links.insert((from, to), model);
+    }
+
+    /// The latency model in effect for `from → to` (the override if one is
+    /// installed, the global model otherwise).
+    pub fn link_latency(&self, from: Endpoint, to: Endpoint) -> &LatencyModel {
+        self.links.get(&(from, to)).unwrap_or(&self.latency)
     }
 
     /// Stamps a fresh request envelope. The returned delivery time is
@@ -140,7 +162,8 @@ impl RpcBus {
         to: Endpoint,
         msg: M,
     ) -> (SimTime, Envelope<M>) {
-        let latency = self.latency.sample(&mut self.rng);
+        let model = self.links.get(&(from, to)).unwrap_or(&self.latency);
+        let latency = model.sample(&mut self.rng);
         self.stats.sent += 1;
         self.stats.total_latency += latency;
         self.stats.max_latency = self.stats.max_latency.max(latency);
@@ -255,5 +278,111 @@ mod tests {
     fn empty_stats_mean_is_zero() {
         let bus = bus_fixed(1);
         assert_eq!(bus.stats().mean_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn per_link_override_applies_only_to_its_link() {
+        let mut bus = bus_fixed(100);
+        bus.set_link_latency(
+            Endpoint(0),
+            Endpoint(1),
+            LatencyModel::fixed(SimDuration::from_micros(700)),
+        );
+        // Overridden direction.
+        let (at, _) = bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ());
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_micros(700));
+        // Reverse direction still uses the global model.
+        let (at, _) = bus.send(SimTime::ZERO, Endpoint(1), Endpoint(0), ());
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_micros(100));
+        // Unrelated link too.
+        let (at, _) = bus.send(SimTime::ZERO, Endpoint(2), Endpoint(3), ());
+        assert_eq!(at, SimTime::ZERO + SimDuration::from_micros(100));
+        assert_eq!(
+            bus.link_latency(Endpoint(0), Endpoint(1)).base,
+            SimDuration::from_micros(700)
+        );
+        assert_eq!(
+            bus.link_latency(Endpoint(1), Endpoint(0)).base,
+            SimDuration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn per_link_sampling_is_deterministic() {
+        // Two buses with the same seed and the same link table draw the
+        // same latencies in the same order, jitter included.
+        let run = || {
+            let mut bus = RpcBus::new(LatencyModel::default(), DetRng::seed_from_u64(17));
+            bus.set_link_latency(
+                Endpoint(0),
+                Endpoint(1),
+                LatencyModel {
+                    base: SimDuration::from_micros(400),
+                    jitter_sigma: 0.1,
+                },
+            );
+            (0..60)
+                .map(|i| {
+                    let (from, to) = if i % 2 == 0 {
+                        (Endpoint(0), Endpoint(1))
+                    } else {
+                        (Endpoint(1), Endpoint(0))
+                    };
+                    bus.send(SimTime::ZERO, from, to, ()).0
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn override_with_identical_model_does_not_perturb_the_stream() {
+        // Installing an override equal to the global model must not change
+        // a single sampled latency: the cluster relies on this to keep
+        // one-job runs byte-identical to the pre-cluster code.
+        let sample = |with_override: bool| {
+            let mut bus = RpcBus::new(LatencyModel::default(), DetRng::seed_from_u64(23));
+            if with_override {
+                bus.set_link_latency(Endpoint(0), Endpoint(1), LatencyModel::default());
+            }
+            (0..40)
+                .map(|_| bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ()).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(false), sample(true));
+    }
+
+    #[test]
+    fn zero_jitter_vs_jittered_statistics() {
+        // Zero jitter: every delivery takes exactly the base latency, so
+        // mean == max == base and total = n * base.
+        let mut fixed = bus_fixed(120);
+        for _ in 0..32 {
+            fixed.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ());
+        }
+        let fs = fixed.stats();
+        assert_eq!(fs.sent, 32);
+        assert_eq!(fs.mean_latency(), SimDuration::from_micros(120));
+        assert_eq!(fs.max_latency, SimDuration::from_micros(120));
+        assert_eq!(fs.total_latency, SimDuration::from_micros(120) * 32);
+
+        // Jittered: the max strictly exceeds the mean, both stay inside
+        // the ±4σ clamp band, and the mean lands near the base.
+        let mut jittered = RpcBus::new(
+            LatencyModel {
+                base: SimDuration::from_micros(120),
+                jitter_sigma: 0.2,
+            },
+            DetRng::seed_from_u64(5),
+        );
+        for _ in 0..512 {
+            jittered.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ());
+        }
+        let js = jittered.stats();
+        assert_eq!(js.sent, 512);
+        assert!(js.max_latency > js.mean_latency());
+        assert!(js.max_latency <= SimDuration::from_micros(216)); // +80%
+        assert!(js.mean_latency() >= SimDuration::from_micros(96));
+        assert!(js.mean_latency() <= SimDuration::from_micros(144));
     }
 }

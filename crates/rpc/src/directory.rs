@@ -1,4 +1,11 @@
-//! Endpoint addressing.
+//! Endpoint addressing: a job-qualified name → [`Endpoint`] directory.
+//!
+//! With the cluster API one [`crate::RpcBus`] spans *several* training
+//! jobs' managers and workers, so names are namespaced per job
+//! (`"job3/worker1"`). [`Directory::register_scoped`] builds the
+//! qualified name, and registration is **unique**: a second registration
+//! of the same name is a typed [`DuplicateName`] error instead of a
+//! silent second endpoint that `lookup` may or may not return.
 
 use core::fmt;
 use serde::{Deserialize, Serialize};
@@ -14,10 +21,43 @@ impl fmt::Display for Endpoint {
     }
 }
 
+/// A name was registered twice. Carries the name and the endpoint that
+/// already owns it, so the caller can either treat the registration as
+/// idempotent (reuse `existing`) or surface the conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateName {
+    /// The name that was already taken.
+    pub name: String,
+    /// The endpoint registered under that name.
+    pub existing: Endpoint,
+}
+
+impl fmt::Display for DuplicateName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "endpoint name {:?} is already registered as {}",
+            self.name, self.existing
+        )
+    }
+}
+
+impl std::error::Error for DuplicateName {}
+
+/// The canonical scope string for job `job` — the namespace prefix under
+/// which a cluster registers that job's endpoints.
+pub fn job_scope(job: usize) -> String {
+    format!("job{job}")
+}
+
 /// Allocates endpoints and remembers their diagnostic names.
+///
+/// Names are unique: registration fails with [`DuplicateName`] instead of
+/// allocating a second endpoint under an ambiguous name.
 #[derive(Debug, Default)]
 pub struct Directory {
     names: BTreeMap<Endpoint, String>,
+    by_name: BTreeMap<String, Endpoint>,
     next: u32,
 }
 
@@ -28,11 +68,28 @@ impl Directory {
     }
 
     /// Registers a new endpoint under `name`.
-    pub fn register(&mut self, name: impl Into<String>) -> Endpoint {
+    ///
+    /// # Errors
+    ///
+    /// [`DuplicateName`] if `name` is already registered; the error carries
+    /// the existing endpoint for callers that want idempotent semantics.
+    pub fn register(&mut self, name: impl Into<String>) -> Result<Endpoint, DuplicateName> {
+        let name = name.into();
+        if let Some(&existing) = self.by_name.get(&name) {
+            return Err(DuplicateName { name, existing });
+        }
         let ep = Endpoint(self.next);
         self.next += 1;
-        self.names.insert(ep, name.into());
-        ep
+        self.names.insert(ep, name.clone());
+        self.by_name.insert(name, ep);
+        Ok(ep)
+    }
+
+    /// Registers `role` inside `scope` as the qualified name
+    /// `"{scope}/{role}"` — the job-qualified namespace a cluster uses so
+    /// one bus can span every job's manager and workers.
+    pub fn register_scoped(&mut self, scope: &str, role: &str) -> Result<Endpoint, DuplicateName> {
+        self.register(format!("{scope}/{role}"))
     }
 
     /// The name an endpoint was registered under.
@@ -40,12 +97,15 @@ impl Directory {
         self.names.get(&ep).map(String::as_str)
     }
 
-    /// Finds an endpoint by exact name (first match in registration order).
+    /// Finds an endpoint by exact name. Unambiguous: names are unique.
     pub fn lookup(&self, name: &str) -> Option<Endpoint> {
-        self.names
-            .iter()
-            .find(|(_, n)| n.as_str() == name)
-            .map(|(ep, _)| *ep)
+        self.by_name.get(name).copied()
+    }
+
+    /// Finds an endpoint by scope and role (see
+    /// [`Directory::register_scoped`]).
+    pub fn lookup_scoped(&self, scope: &str, role: &str) -> Option<Endpoint> {
+        self.lookup(&format!("{scope}/{role}"))
     }
 
     /// Number of registered endpoints.
@@ -66,8 +126,8 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut d = Directory::new();
-        let mgr = d.register("manager");
-        let w0 = d.register("worker0");
+        let mgr = d.register("manager").unwrap();
+        let w0 = d.register("worker0").unwrap();
         assert_ne!(mgr, w0);
         assert_eq!(d.name(mgr), Some("manager"));
         assert_eq!(d.lookup("worker0"), Some(w0));
@@ -78,10 +138,44 @@ mod tests {
     #[test]
     fn endpoints_are_unique() {
         let mut d = Directory::new();
-        let eps: Vec<Endpoint> = (0..100).map(|i| d.register(format!("ep{i}"))).collect();
+        let eps: Vec<Endpoint> = (0..100)
+            .map(|i| d.register(format!("ep{i}")).unwrap())
+            .collect();
         let mut dedup = eps.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), eps.len());
+    }
+
+    /// Regression: duplicate names used to be silently accepted, leaving
+    /// `lookup` to return an arbitrary one of the twins.
+    #[test]
+    fn duplicate_name_is_a_typed_error_carrying_the_existing_endpoint() {
+        let mut d = Directory::new();
+        let first = d.register("manager").unwrap();
+        let err = d.register("manager").unwrap_err();
+        assert_eq!(
+            err,
+            DuplicateName {
+                name: "manager".into(),
+                existing: first,
+            }
+        );
+        assert!(err.to_string().contains("manager"), "{err}");
+        // The directory is unchanged: one endpoint, unambiguous lookup.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.lookup("manager"), Some(first));
+    }
+
+    #[test]
+    fn scoped_registration_qualifies_names_per_job() {
+        let mut d = Directory::new();
+        let m0 = d.register_scoped(&job_scope(0), "manager").unwrap();
+        let m1 = d.register_scoped(&job_scope(1), "manager").unwrap();
+        assert_ne!(m0, m1, "same role in different jobs: distinct endpoints");
+        assert_eq!(d.name(m0), Some("job0/manager"));
+        assert_eq!(d.lookup_scoped("job1", "manager"), Some(m1));
+        // The same role twice in one job is a duplicate.
+        assert!(d.register_scoped("job0", "manager").is_err());
     }
 }

@@ -23,4 +23,4 @@ mod bus;
 mod directory;
 
 pub use bus::{CallId, Envelope, LatencyModel, RpcBus, RpcStats};
-pub use directory::{Directory, Endpoint};
+pub use directory::{job_scope, Directory, DuplicateName, Endpoint};

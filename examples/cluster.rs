@@ -1,0 +1,116 @@
+//! Multi-job deployments: the `Cluster` API.
+//!
+//! Three pipeline-training jobs — different model sizes, seeds, and even
+//! co-location modes — advance in **one** deterministic simulation, and
+//! side tasks enter through a single cluster-wide admission plane. A
+//! pluggable `PlacementPolicy` routes each submission to a job's workers;
+//! a submission that does not fit its preferred job spills over to a
+//! neighbour instead of being rejected.
+//!
+//! Run: `cargo run --release --example cluster`
+
+use freeride::prelude::*;
+
+fn main() {
+    let job = |model: ModelSpec, epochs: usize| {
+        ClusterJob::new(PipelineConfig::paper_default(model).with_epochs(epochs))
+    };
+
+    let mut cluster = Cluster::builder()
+        .job(job(ModelSpec::nanogpt_3_6b(), 4).seed(1))
+        .job(job(ModelSpec::nanogpt_1_2b(), 5).seed(2))
+        .job(
+            job(ModelSpec::nanogpt_6b(), 4)
+                .interface(InterfaceKind::Imperative)
+                .seed(3),
+        )
+        .policy(LeastLoaded)
+        .build();
+
+    println!(
+        "cluster: {} jobs, policy {}",
+        cluster.num_jobs(),
+        cluster.policy_name()
+    );
+
+    // Six mixed side tasks, routed by the policy across all jobs' workers.
+    let mut handles = Vec::new();
+    for kind in [
+        WorkloadKind::PageRank,
+        WorkloadKind::ResNet18,
+        WorkloadKind::ImageProc,
+        WorkloadKind::PageRank,
+        WorkloadKind::ResNet18,
+        WorkloadKind::ImageProc,
+    ] {
+        handles.push(
+            cluster
+                .submit(Submission::new(kind))
+                .expect("fits somewhere"),
+        );
+    }
+
+    // One online arrival, mid-training.
+    handles.push(
+        cluster
+            .submit(Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(2_000)))
+            .expect("online arrivals share the same front door"),
+    );
+
+    // Job 2 (6B) has cramped bubbles: a 12 GiB task cannot fit there, but
+    // affinity submission spills over to a roomier job instead of failing.
+    let spilled = cluster
+        .submit_to_job(
+            2,
+            Submission::custom("big-batch-inference", MemBytes::from_gib(12), |seed| {
+                WorkloadKind::ImageProc.build(seed)
+            }),
+        )
+        .expect("spillover finds room on another job");
+    println!(
+        "12GiB task preferred job 2, spilled over to job {}",
+        spilled.job()
+    );
+    handles.push(spilled);
+
+    let report = cluster.run();
+
+    println!();
+    println!("== per-job reports ==");
+    for (j, job) in report.jobs.iter().enumerate() {
+        let steps: u64 = job.tasks.iter().map(|t| t.steps).sum();
+        println!(
+            "job {j}: mode={} T={} tasks={} steps={} bubbles={} loss={:+.2}%",
+            job.mode,
+            job.total_time,
+            job.tasks.len(),
+            steps,
+            job.bubbles_reported,
+            job.cost.as_ref().map_or(0.0, |c| c.time_increase * 100.0),
+        );
+    }
+
+    println!();
+    println!("== cluster aggregates ==");
+    for h in &handles {
+        println!(
+            "  {:<22} -> job {} worker {} steps {}",
+            format!("{}", h.tag()),
+            h.job(),
+            h.worker().expect("ran"),
+            h.steps().expect("ran"),
+        );
+    }
+    println!(
+        "policy={} events={} steps={} rejections={} makespan={}",
+        report.policy,
+        report.events_processed,
+        report.total_steps(),
+        report.total_rejections(),
+        report.makespan(),
+    );
+    if let Some(loss) = report.global_throughput_loss() {
+        println!("global throughput loss: {:+.2}%", loss * 100.0);
+        assert!(loss < 0.05, "FreeRide keeps fleet overhead low");
+    }
+}

@@ -66,10 +66,13 @@ pub use freeride_tasks as tasks;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use freeride_core::{
-        evaluate, run_baseline, run_colocation, time_increase, ColocationMode, ColocationRun,
-        CostReport, Deployment, DeploymentBuilder, DeploymentReport, FreeRideConfig, InterfaceKind,
-        Misbehavior, RejectedSubmission, SideTaskManager, SideTaskState, StopReason, Submission,
-        SubmitError, TaskHandle, TaskId, TaskSummary, Transition,
+        evaluate, run_baseline, run_colocation, time_increase, BestFitMemory, Cluster,
+        ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle, ClusterView, ColocationMode,
+        ColocationRun, CostReport, Deployment, DeploymentBuilder, DeploymentReport, FirstFit,
+        FreeRideConfig, InterfaceKind, JobView, LeastLoaded, MinTasksJob, Misbehavior, Placement,
+        PlacementPolicy, RejectedSubmission, SideTaskManager, SideTaskState, StopReason,
+        Submission, SubmitError, TaskHandle, TaskId, TaskSummary, Transition, WorkerPolicy,
+        WorkerView,
     };
     pub use freeride_gpu::{GpuDevice, GpuId, MemBytes, Priority};
     pub use freeride_pipeline::{

@@ -3,8 +3,8 @@
 //! queue, and whole-pipeline termination for arbitrary shapes.
 
 use freeride::core::{
-    next_state, Deployment, FreeRideConfig, PlacementPolicy, SideTaskManager, SideTaskState,
-    Submission, TaskId, Transition,
+    next_state, Deployment, FreeRideConfig, SideTaskManager, SideTaskState, Submission, TaskId,
+    Transition, WorkerPolicy,
 };
 use freeride::gpu::{MemBytes, MemoryPool};
 use freeride::pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
@@ -137,9 +137,9 @@ proptest! {
         policy_idx in 0usize..3,
     ) {
         let policy = [
-            PlacementPolicy::MinTasks,
-            PlacementPolicy::FirstFit,
-            PlacementPolicy::MostMemory,
+            WorkerPolicy::MinTasks,
+            WorkerPolicy::FirstFit,
+            WorkerPolicy::MostMemory,
         ][policy_idx];
         let worker_mems: Vec<MemBytes> = mems.iter().map(|g| MemBytes::from_gib(*g)).collect();
         let mut m = SideTaskManager::new(worker_mems.clone()).with_policy(policy);

@@ -11,7 +11,10 @@
 //!    metric);
 //! 3. **Cluster run** — a 4-job multi-tenant cluster (model rotation
 //!    3.6B/1.2B/6B, least-loaded placement) in one simulation, reporting
-//!    `cluster_events_per_sec` (the multi-job-scale metric).
+//!    `cluster_events_per_sec` (the multi-job-scale metric);
+//! 4. **Hetero run** — the 1.2B model on a mixed fleet (H100 / A100-80 /
+//!    A100-40 / L4) under `FastestFit` placement, reporting
+//!    `hetero_events_per_sec` (the heterogeneous-hardware metric).
 //!
 //! Results are printed and written to `BENCH.json` in the current
 //! directory so every PR leaves a perf trajectory to regress against
@@ -22,8 +25,10 @@
 
 use freeride_bench::{all_methods, default_threads, main_pipeline, BenchArgs, SweepRunner};
 use freeride_core::{
-    run_colocation, Cluster, ClusterJob, ColocationRun, FreeRideConfig, LeastLoaded, Submission,
+    run_colocation, Cluster, ClusterJob, ColocationRun, FastestFit, FreeRideConfig, LeastLoaded,
+    Submission,
 };
+use freeride_gpu::HardwareSpec;
 use freeride_pipeline::{ModelSpec, PipelineConfig};
 use freeride_tasks::WorkloadKind;
 use std::time::Instant;
@@ -89,6 +94,48 @@ fn cluster_perf(args: &BenchArgs) -> SingleRun {
     }
 }
 
+/// The standard heterogeneous run: the 1.2B model on a mixed fleet under
+/// hardware-aware placement, with a contended workload mix.
+fn hetero_run_once(args: &BenchArgs) -> u64 {
+    let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_1_2b())
+        .with_epochs(args.epochs)
+        .with_hardware(vec![
+            HardwareSpec::h100_80g(),
+            HardwareSpec::a100_80g(),
+            HardwareSpec::a100_40g(),
+            HardwareSpec::l4_24g(),
+        ]);
+    let cfg = args.configure(FreeRideConfig::iterative());
+    let mut cluster = Cluster::builder()
+        .job(ClusterJob::new(pipeline).config(cfg))
+        .policy(FastestFit)
+        .cost_report(false)
+        .build();
+    for kind in [
+        WorkloadKind::PageRank,
+        WorkloadKind::ResNet18,
+        WorkloadKind::ImageProc,
+        WorkloadKind::PageRank,
+    ] {
+        let _ = cluster.submit(Submission::new(kind));
+    }
+    cluster.run().events_processed
+}
+
+/// One measurement of the heterogeneous-fleet hot path.
+fn hetero_perf(args: &BenchArgs) -> SingleRun {
+    // One warm-up, then the measured run.
+    let _ = hetero_run_once(args);
+    let start = Instant::now();
+    let events = hetero_run_once(args);
+    let wall_s = start.elapsed().as_secs_f64();
+    SingleRun {
+        wall_s,
+        events,
+        events_per_sec: events as f64 / wall_s,
+    }
+}
+
 /// The standard sweep: one closure per independent simulation.
 fn sweep_jobs(args: &BenchArgs) -> Vec<Box<dyn FnOnce() -> ColocationRun + Send>> {
     let pipeline = main_pipeline(args.epochs);
@@ -141,6 +188,13 @@ fn main() {
         cluster.wall_s, cluster.events, cluster.events_per_sec
     );
 
+    println!("-- hetero run (1.2B on H100/A100-80/A100-40/L4, fastest-fit placement) --");
+    let hetero = hetero_perf(&args);
+    println!(
+        "wall {:.3}s, {} events, {:.0} hetero events/sec",
+        hetero.wall_s, hetero.events, hetero.events_per_sec
+    );
+
     println!("-- standard sweep (10 runs: table1 workloads + table2 mixed methods) --");
     let (seq_s, seq_events) = timed_sweep(SweepRunner::new(1), &args);
     println!("sequential: {seq_s:.3}s ({seq_events} events)");
@@ -161,12 +215,13 @@ fn main() {
         .unwrap_or(0);
     let json = format!(
         "{{\n  \
-         \"bench_version\": 2,\n  \
+         \"bench_version\": 3,\n  \
          \"unix_time\": {unix_time},\n  \
          \"host\": {{ \"cores\": {cores} }},\n  \
          \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10, \"cluster_jobs\": 4 }},\n  \
          \"single_run\": {{ \"wall_s\": {sw:.4}, \"events\": {se}, \"events_per_sec\": {seps:.0} }},\n  \
          \"cluster\": {{ \"wall_s\": {cw:.4}, \"events\": {ce}, \"cluster_events_per_sec\": {ceps:.0} }},\n  \
+         \"hetero\": {{ \"wall_s\": {hw:.4}, \"events\": {he}, \"hetero_events_per_sec\": {heps:.0} }},\n  \
          \"sweep\": {{ \"sequential_s\": {qs:.4}, \"parallel_s\": {ps:.4}, \"speedup\": {sp:.3}, \"events\": {ev} }}\n\
          }}\n",
         epochs = args.epochs,
@@ -177,6 +232,9 @@ fn main() {
         cw = cluster.wall_s,
         ce = cluster.events,
         ceps = cluster.events_per_sec,
+        hw = hetero.wall_s,
+        he = hetero.events,
+        heps = hetero.events_per_sec,
         qs = seq_s,
         ps = par_s,
         sp = speedup,

@@ -15,7 +15,8 @@
 //! | `figure9` | Fig. 9 — bubble-time breakdown |
 //! | `ablations` | design-choice sweeps (grace period, RPC latency, margin, placement) |
 //! | `cluster` | beyond the paper: multi-job cluster scaling, job count × placement policy |
-//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, sweep speedup |
+//! | `hetero` | beyond the paper: heterogeneous GPU fleets, fleet mix × placement policy |
+//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, hetero, sweep speedup |
 //!
 //! Run them all: `cargo bench -p freeride-bench` (the `paper_experiments`
 //! bench target), or individually `cargo run --release -p freeride-bench

@@ -4,9 +4,10 @@
 
 use freeride_bench::{main_pipeline, SweepRunner};
 use freeride_core::{
-    run_colocation, BestFitMemory, Cluster, ClusterJob, FirstFit, FreeRideConfig, LeastLoaded,
-    MinTasksJob, PlacementPolicy, Submission,
+    run_colocation, BestFitMemory, Cluster, ClusterJob, FastestFit, FirstFit, FreeRideConfig,
+    LeastLoaded, MinTasksJob, PlacementPolicy, Submission,
 };
+use freeride_gpu::HardwareSpec;
 use freeride_pipeline::{ModelSpec, PipelineConfig};
 use freeride_tasks::WorkloadKind;
 
@@ -106,6 +107,66 @@ fn cluster_sweep_is_byte_identical_to_sequential() {
         assert_eq!(
             sequential, parallel,
             "threads={threads} must not change a single byte of cluster output"
+        );
+    }
+}
+
+/// The hetero-bin row computation: a mixed-fleet simulation per policy,
+/// formatted like the binary's output rows.
+fn hetero_rows(threads: usize) -> Vec<String> {
+    let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+        Box::new(FirstFit),
+        Box::new(BestFitMemory),
+        Box::new(LeastLoaded),
+        Box::new(FastestFit),
+        Box::new(MinTasksJob),
+    ];
+    let jobs: Vec<_> = policies
+        .into_iter()
+        .map(|policy| {
+            move || {
+                let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_1_2b())
+                    .with_epochs(2)
+                    .with_hardware(vec![
+                        HardwareSpec::h100_80g(),
+                        HardwareSpec::a100_80g(),
+                        HardwareSpec::a100_40g(),
+                        HardwareSpec::l4_24g(),
+                    ]);
+                let mut cluster = Cluster::builder()
+                    .job(ClusterJob::new(pipeline).seed(0x4E_7E_20))
+                    .policy(policy)
+                    .cost_report(false)
+                    .build();
+                for kind in [WorkloadKind::PageRank, WorkloadKind::ImageProc] {
+                    let _ = cluster.submit(Submission::new(kind));
+                }
+                let report = cluster.run();
+                let placements: Vec<usize> =
+                    report.jobs[0].tasks.iter().map(|t| t.worker).collect();
+                format!(
+                    "{} steps={} events={} placements={placements:?} makespan={}",
+                    report.policy,
+                    report.total_steps(),
+                    report.events_processed,
+                    report.makespan()
+                )
+            }
+        })
+        .collect();
+    SweepRunner::new(threads).run(jobs)
+}
+
+#[test]
+fn hetero_sweep_is_byte_identical_to_sequential() {
+    // The ISSUE's bar: the hetero bin must print the same bytes at
+    // `--threads 1` and `--threads 4`.
+    let sequential = hetero_rows(1);
+    for threads in [2, 4] {
+        let parallel = hetero_rows(threads);
+        assert_eq!(
+            sequential, parallel,
+            "threads={threads} must not change a single byte of hetero output"
         );
     }
 }

@@ -13,6 +13,9 @@
 //!   bubble memory;
 //! * [`BestFitMemory`] — the *tightest* fitting worker cluster-wide;
 //! * [`LeastLoaded`] — the fitting worker with the fewest routed tasks;
+//! * [`FastestFit`] — the fitting worker with the highest relative
+//!   compute speed, for heterogeneous fleets (see
+//!   [`freeride_gpu::HardwareSpec`]);
 //! * [`MinTasksJob`] — the cluster-level analogue of the paper's
 //!   Algorithm 1 (and the [`Deployment`](crate::Deployment) default):
 //!   pick the least-admitted job that can host the task and let that
@@ -37,7 +40,7 @@ use crate::manager::SubmitError;
 use crate::orchestrator::{execute_cluster, JobExecSpec, TaskSummary};
 use crate::state::SideTaskState;
 use crate::task::{StopReason, TaskId};
-use freeride_gpu::MemBytes;
+use freeride_gpu::{HardwareSpec, MemBytes};
 use freeride_pipeline::{PipelineConfig, ScheduleKind};
 use freeride_sim::SimDuration;
 use freeride_tasks::WorkloadTag;
@@ -69,6 +72,11 @@ pub struct WorkerView {
     pub free_mem: MemBytes,
     /// Submissions already pinned to this worker by earlier placements.
     pub assigned: usize,
+    /// Relative compute speed of this worker's GPU (reference hardware =
+    /// `1.0`) — what hardware-aware policies like [`FastestFit`] rank by.
+    pub compute_speed: f64,
+    /// Physical memory of this worker's GPU.
+    pub device_memory: MemBytes,
 }
 
 /// Read-only snapshot of one job offered to a policy.
@@ -250,6 +258,41 @@ impl PlacementPolicy for LeastLoaded {
     }
 }
 
+/// The **fastest** fitting worker cluster-wide wins: among workers whose
+/// bubble memory strictly exceeds the request, pick the one with the
+/// highest [`WorkerView::compute_speed`]. On a heterogeneous fleet this
+/// is the throughput-greedy policy — side-task steps retire fastest on
+/// the fastest silicon — at the price of piling load onto the premium
+/// devices. Ties (including the all-reference homogeneous fleet) break
+/// toward the lower (job, worker) index, making it equivalent to
+/// [`FirstFit`] there.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastestFit;
+
+impl PlacementPolicy for FastestFit {
+    fn name(&self) -> &'static str {
+        "fastest-fit"
+    }
+
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+        let mut best: Option<(f64, Placement)> = None;
+        for j in view.jobs() {
+            for w in &j.workers {
+                if w.free_mem > needed && best.is_none_or(|(s, _)| w.compute_speed > s) {
+                    best = Some((
+                        w.compute_speed,
+                        Placement::Worker {
+                            job: j.job,
+                            worker: w.worker,
+                        },
+                    ));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+}
+
 /// The cluster-level analogue of the paper's Algorithm 1 — and the
 /// default policy (it is what [`crate::Deployment`] wraps): route to the
 /// job with the fewest admitted submissions among jobs that can host the
@@ -326,6 +369,28 @@ impl ClusterJob {
     /// Applies an arbitrary tweak to the configuration.
     pub fn tune(mut self, f: impl FnOnce(&mut FreeRideConfig)) -> Self {
         f(&mut self.cfg);
+        self
+    }
+
+    /// Replaces this job's GPU fleet with per-worker hardware (one
+    /// [`HardwareSpec`] per stage, in stage order). Defaults to the
+    /// homogeneous reference fleet the paper evaluates on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty `specs` does not have one entry per stage.
+    pub fn hardware(mut self, specs: Vec<HardwareSpec>) -> Self {
+        self.pipeline = self.pipeline.with_hardware(specs);
+        self
+    }
+
+    /// Replaces one worker's hardware, keeping the rest of the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn worker_hardware(mut self, stage: usize, spec: HardwareSpec) -> Self {
+        self.pipeline = self.pipeline.with_worker_hardware(stage, spec);
         self
     }
 }
@@ -565,6 +630,8 @@ impl Cluster {
                             worker: w,
                             free_mem: slot.pipeline.stage_free_memory(w),
                             assigned: slot.pinned_counts[w],
+                            compute_speed: slot.pipeline.compute_speed(w),
+                            device_memory: slot.pipeline.device_memory(w),
                         })
                         .collect(),
                 })
@@ -914,6 +981,54 @@ mod tests {
         let report = c.run();
         assert_eq!(report.jobs[0].tasks.len(), 2);
         assert_eq!(report.jobs[1].tasks.len(), 1);
+    }
+
+    #[test]
+    fn fastest_fit_prefers_high_speed_workers() {
+        // Job 0: homogeneous reference fleet. Job 1: H100s on the two
+        // late stages. FastestFit must pin the first submission to job
+        // 1's fastest fitting worker.
+        let mut c = Cluster::builder()
+            .job(ClusterJob::new(pipeline(ModelSpec::nanogpt_3_6b(), 2)).seed(1))
+            .job(
+                ClusterJob::new(pipeline(ModelSpec::nanogpt_3_6b(), 2))
+                    .seed(2)
+                    .worker_hardware(2, HardwareSpec::h100_80g())
+                    .worker_hardware(3, HardwareSpec::h100_80g()),
+            )
+            .policy(FastestFit)
+            .cost_report(false)
+            .build();
+        let h = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        assert_eq!(h.job(), 1);
+        // The view exposes per-worker hardware for policies to rank by.
+        let view = c.view();
+        assert_eq!(view.jobs()[1].workers[2].compute_speed, 1.9);
+        assert_eq!(
+            view.jobs()[1].workers[2].device_memory,
+            MemBytes::from_gib(80)
+        );
+        assert_eq!(view.jobs()[0].workers[2].compute_speed, 1.0);
+        let report = c.run();
+        let worker = h.worker().unwrap();
+        assert!(
+            worker == 2 || worker == 3,
+            "pinned to an H100, got {worker}"
+        );
+        assert_eq!(report.jobs[1].tasks.len(), 1);
+    }
+
+    #[test]
+    fn fastest_fit_on_homogeneous_fleet_is_first_fit() {
+        let place = |policy: &dyn PlacementPolicy| {
+            let mut c = two_job_cluster(FirstFit); // policy unused below
+            let view = c.view();
+            let p = policy.place(MemBytes::from_gib(4), &view);
+            let _ = c.submit(Submission::new(WorkloadKind::PageRank));
+            p
+        };
+        assert_eq!(place(&FastestFit), place(&FirstFit));
+        assert_eq!(FastestFit.name(), "fastest-fit");
     }
 
     #[test]

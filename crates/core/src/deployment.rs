@@ -38,7 +38,7 @@ use crate::metrics::{evaluate, BubbleBreakdown, CostReport, TaskWork};
 use crate::orchestrator::{ColocationRun, ExecutionOutput, TaskSummary};
 use crate::state::SideTaskState;
 use crate::task::{Misbehavior, StopReason, TaskId};
-use freeride_gpu::MemBytes;
+use freeride_gpu::{HardwareSpec, MemBytes};
 use freeride_pipeline::{run_training, PipelineConfig, ScheduleKind};
 use freeride_sim::{SimDuration, SimTime, TraceRecorder};
 use freeride_tasks::{
@@ -409,6 +409,28 @@ impl DeploymentBuilder {
     /// latency, …).
     pub fn tune(mut self, f: impl FnOnce(&mut FreeRideConfig)) -> Self {
         f(&mut self.cfg);
+        self
+    }
+
+    /// Replaces the GPU fleet with per-worker hardware (one
+    /// [`HardwareSpec`] per stage, in stage order). Defaults to the
+    /// homogeneous reference fleet the paper evaluates on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty `specs` does not have one entry per stage.
+    pub fn hardware(mut self, specs: Vec<HardwareSpec>) -> Self {
+        self.pipeline = self.pipeline.with_hardware(specs);
+        self
+    }
+
+    /// Replaces one worker's hardware, keeping the rest of the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn worker_hardware(mut self, stage: usize, spec: HardwareSpec) -> Self {
+        self.pipeline = self.pipeline.with_worker_hardware(stage, spec);
         self
     }
 

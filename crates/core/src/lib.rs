@@ -22,7 +22,8 @@
 //!   jobs — each with its own pipeline, seed, and mode — advancing in
 //!   **one** deterministic simulation behind a single cluster-wide
 //!   admission plane, with pluggable [`PlacementPolicy`] routing
-//!   ([`FirstFit`], [`BestFitMemory`], [`LeastLoaded`], [`MinTasksJob`]),
+//!   ([`FirstFit`], [`BestFitMemory`], [`LeastLoaded`], [`FastestFit`],
+//!   [`MinTasksJob`]),
 //!   cross-job spillover on memory pressure, and a [`ClusterReport`]
 //!   aggregating per-job reports plus fleet-level metrics
 //!   ([`Deployment`] is a thin wrapper over a one-job cluster);
@@ -70,8 +71,8 @@ mod worker;
 
 pub use cluster::{
     BestFitMemory, Cluster, ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle,
-    ClusterView, FirstFit, JobView, LeastLoaded, MinTasksJob, Placement, PlacementPolicy,
-    WorkerView,
+    ClusterView, FastestFit, FirstFit, JobView, LeastLoaded, MinTasksJob, Placement,
+    PlacementPolicy, WorkerView,
 };
 pub use config::{ColocationMode, FreeRideConfig, InterfaceKind};
 pub use deployment::{
@@ -84,7 +85,7 @@ pub use metrics::{
 pub use orchestrator::{
     run_baseline, run_baseline_with, run_colocation, ColocationRun, TaskSummary,
 };
-pub use profiler::{profile_side_task, MeasuredProfile};
+pub use profiler::{profile_side_task, profile_side_task_on, MeasuredProfile};
 pub use state::{next_state, IllegalTransition, SideTaskState, StateMachine, Transition};
 pub use task::{Misbehavior, SideTask, StopReason, TaskId};
 pub use worker::{Worker, WorkerAccounting, WorkerEffect};

@@ -537,6 +537,16 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("30"), "needed memory in message: {msg}");
         assert!(msg.contains("26"), "best worker memory in message: {msg}");
+        // Memory renders through MemBytes's Display — human units, never
+        // raw byte counts.
+        assert!(
+            msg.contains("30.00GiB") && msg.contains("26.00GiB"),
+            "GiB formatting in message: {msg}"
+        );
+        assert!(
+            !msg.contains(&gib(30).as_bytes().to_string()),
+            "no raw byte counts in message: {msg}"
+        );
     }
 
     #[test]

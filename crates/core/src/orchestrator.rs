@@ -36,7 +36,7 @@ use crate::metrics::{BubbleBreakdown, TaskWork};
 use crate::state::SideTaskState;
 use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
 use crate::worker::{Worker, WorkerEffect};
-use freeride_gpu::{GpuDevice, GpuId, MpsPrioritized, ProcessId, TimeSliced};
+use freeride_gpu::{GpuDevice, GpuId, ProcessId, SharingKind};
 use freeride_pipeline::{BubbleReport, EngineAction, PipelineConfig, PipelineEngine};
 use freeride_rpc::{job_scope, Directory, Endpoint, Envelope, LatencyModel, RpcBus};
 use freeride_sim::{
@@ -706,14 +706,18 @@ pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<Ex
         let pipeline_cfg = spec.pipeline;
         let fr_cfg = spec.cfg;
 
-        // Devices with the sharing model the mode implies.
+        // Devices built from each stage's hardware spec, under the
+        // sharing regime the mode implies. The homogeneous default spec
+        // reproduces the pre-hardware devices exactly.
+        let sharing = match fr_cfg.mode {
+            ColocationMode::Naive => SharingKind::TimeSliced,
+            _ => SharingKind::Prioritized,
+        };
         let devices: Vec<GpuDevice> = (0..pipeline_cfg.stages)
             .map(|i| {
-                let model: Box<dyn freeride_gpu::InterferenceModel> = match fr_cfg.mode {
-                    ColocationMode::Naive => Box::new(TimeSliced),
-                    _ => Box::new(MpsPrioritized::default()),
-                };
-                GpuDevice::new(GpuId(i as u32), pipeline_cfg.gpu_memory, model)
+                pipeline_cfg
+                    .hardware_of(i)
+                    .build_device(GpuId(i as u32), sharing)
             })
             .collect();
 

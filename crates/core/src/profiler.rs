@@ -14,7 +14,7 @@
 //! have produced on Server-I.
 
 use crate::config::InterfaceKind;
-use freeride_gpu::{GpuDevice, GpuId, KernelSpec, MemBytes, MpsPrioritized, Priority};
+use freeride_gpu::{GpuId, HardwareSpec, KernelSpec, MemBytes, Priority, SharingKind};
 use freeride_sim::{SimDuration, SimTime};
 use freeride_tasks::{SideTaskWorkload, WorkloadProfile};
 use serde::Serialize;
@@ -49,16 +49,36 @@ pub fn profile_side_task(
     interface: InterfaceKind,
     steps: u64,
 ) -> MeasuredProfile {
+    profile_side_task_on(
+        workload,
+        declared,
+        interface,
+        steps,
+        &HardwareSpec::rtx6000ada_48g(),
+    )
+}
+
+/// [`profile_side_task`] on specific hardware: the profiling device is
+/// built from `hardware`, so the measured per-step duration reflects that
+/// GPU's compute speed — what an operator profiling a task for a
+/// heterogeneous fleet would observe per device class.
+///
+/// # Panics
+///
+/// Panics if `steps` is zero for an iterative task.
+pub fn profile_side_task_on(
+    workload: &mut dyn SideTaskWorkload,
+    declared: &WorkloadProfile,
+    interface: InterfaceKind,
+    steps: u64,
+    hardware: &HardwareSpec,
+) -> MeasuredProfile {
     if interface == InterfaceKind::Iterative {
         assert!(steps > 0, "need at least one step to profile");
     }
     // A dedicated profiling device: nothing else runs (the paper profiles
     // offline or before serving).
-    let mut device = GpuDevice::new(
-        GpuId(0),
-        MemBytes::from_gib(48),
-        Box::new(MpsPrioritized::default()),
-    );
+    let mut device = hardware.build_device(GpuId(0), SharingKind::Prioritized);
     let pid = device.register_process("profiler.task", Priority::Low, None);
 
     workload.create();
@@ -150,6 +170,41 @@ mod tests {
             InterfaceKind::Iterative,
             0,
         );
+    }
+
+    #[test]
+    fn per_step_scales_with_hardware_speed() {
+        let kind = WorkloadKind::PageRank;
+        let declared = kind.profile();
+        let reference = {
+            let mut w = kind.build(1);
+            profile_side_task(w.as_mut(), &declared, InterfaceKind::Iterative, 4)
+        };
+        let h100 = {
+            let mut w = kind.build(1);
+            profile_side_task_on(
+                w.as_mut(),
+                &declared,
+                InterfaceKind::Iterative,
+                4,
+                &HardwareSpec::h100_80g(),
+            )
+        };
+        let l4 = {
+            let mut w = kind.build(1);
+            profile_side_task_on(
+                w.as_mut(),
+                &declared,
+                InterfaceKind::Iterative,
+                4,
+                &HardwareSpec::l4_24g(),
+            )
+        };
+        assert_eq!(reference.per_step, Some(declared.step_server1));
+        assert!(h100.per_step.unwrap() < reference.per_step.unwrap());
+        assert!(l4.per_step.unwrap() > reference.per_step.unwrap());
+        // Memory is speed-independent.
+        assert_eq!(h100.gpu_memory, reference.gpu_memory);
     }
 
     #[test]

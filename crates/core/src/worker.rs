@@ -418,9 +418,12 @@ impl Worker {
     }
 
     /// Program-directed mechanism: launch the next step only if the bubble
-    /// has room for it (§4.5). Misbehaving `IgnorePause` tasks skip the
-    /// check. Imperative tasks never check — that is what the
-    /// framework-enforced mechanism is for.
+    /// has room for it (§4.5). The step's wall-clock estimate is the
+    /// profiled reference duration scaled by this GPU's compute speed, so
+    /// fast devices squeeze extra steps into a bubble and slow ones stop
+    /// earlier. Misbehaving `IgnorePause` tasks skip the check. Imperative
+    /// tasks never check — that is what the framework-enforced mechanism
+    /// is for.
     fn try_launch_step(&mut self, now: SimTime, id: TaskId, device: &mut GpuDevice) {
         let task = self.tasks.get(&id).expect("known task");
         let check = task.interface == InterfaceKind::Iterative
@@ -429,7 +432,8 @@ impl Worker {
             let Some(serving) = self.serving.as_mut() else {
                 return;
             };
-            let needed = task.profile.step_server1 + self.cfg.step_safety_margin;
+            let needed =
+                device.scaled_duration(task.profile.step_server1) + self.cfg.step_safety_margin;
             let remaining = serving.bubble_end.saturating_since(now);
             if remaining < needed {
                 if serving.insufficient_from.is_none() {

@@ -136,6 +136,10 @@ pub struct GpuDevice {
     procs: BTreeMap<ProcessId, GpuProcess>,
     active: Vec<ActiveKernel>,
     model: Box<dyn InterferenceModel>,
+    /// Relative compute speed (reference hardware = `1.0`): the factor at
+    /// which this device retires kernel solo-time compared to the paper's
+    /// reference GPU. See [`crate::HardwareSpec`].
+    compute_speed: f64,
     last_advance: SimTime,
     next_pid: u64,
     next_kid: u64,
@@ -147,7 +151,7 @@ pub struct GpuDevice {
 
 impl GpuDevice {
     /// Creates a device with `total_mem` physical memory and the given
-    /// sharing model.
+    /// sharing model, at the reference compute speed (`1.0`).
     pub fn new(id: GpuId, total_mem: MemBytes, model: Box<dyn InterferenceModel>) -> Self {
         GpuDevice {
             id,
@@ -155,6 +159,7 @@ impl GpuDevice {
             procs: BTreeMap::new(),
             active: Vec::new(),
             model,
+            compute_speed: 1.0,
             last_advance: SimTime::ZERO,
             next_pid: 0,
             next_kid: 0,
@@ -163,9 +168,42 @@ impl GpuDevice {
         }
     }
 
+    /// Overrides the relative compute speed (builder style). Kernels on a
+    /// device at speed `s` retire solo-time `s`× as fast as on the
+    /// reference hardware; `1.0` (the default) reproduces the pre-hardware
+    /// behavior exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `speed` is finite and positive.
+    pub fn with_compute_speed(mut self, speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "compute speed must be finite and positive, got {speed}"
+        );
+        self.compute_speed = speed;
+        self
+    }
+
     /// Device id.
     pub fn id(&self) -> GpuId {
         self.id
+    }
+
+    /// Relative compute speed of this device (reference = `1.0`).
+    pub fn compute_speed(&self) -> f64 {
+        self.compute_speed
+    }
+
+    /// Wall-clock time this device needs to retire `d` of reference
+    /// solo-time at full kernel speed — what callers should budget for a
+    /// step of reference duration `d` (e.g. the program-directed
+    /// remaining-time check of §4.5).
+    pub fn scaled_duration(&self, d: SimDuration) -> SimDuration {
+        if self.compute_speed == 1.0 {
+            return d;
+        }
+        SimDuration::from_nanos((d.as_nanos() as f64 / self.compute_speed).ceil() as u64)
     }
 
     /// Name of the sharing model in effect.
@@ -351,7 +389,7 @@ impl GpuDevice {
     pub fn next_completion_time(&self) -> Option<SimTime> {
         self.active
             .iter()
-            .map(|k| completion_time(self.last_advance, k))
+            .map(|k| completion_time(self.last_advance, k, self.compute_speed))
             .min()
     }
 
@@ -446,8 +484,12 @@ impl GpuDevice {
     fn drain_interval(&mut self, to: SimTime) {
         let dt = to.saturating_since(self.last_advance).as_nanos() as f64;
         if dt > 0.0 {
+            // `compute_speed` scales how much reference solo-time a
+            // wall-clock interval retires; at the default `1.0` the
+            // arithmetic is bit-identical to the pre-hardware device.
+            let scale = self.compute_speed;
             for k in &mut self.active {
-                k.remaining = (k.remaining - dt * k.speed).max(0.0);
+                k.remaining = (k.remaining - dt * k.speed * scale).max(0.0);
             }
         }
         self.last_advance = self.last_advance.max(to);
@@ -473,8 +515,8 @@ impl GpuDevice {
     }
 }
 
-fn completion_time(last: SimTime, k: &ActiveKernel) -> SimTime {
-    let nanos = (k.remaining / k.speed).ceil() as u64;
+fn completion_time(last: SimTime, k: &ActiveKernel, compute_speed: f64) -> SimTime {
+    let nanos = (k.remaining / (k.speed * compute_speed)).ceil() as u64;
     last + SimDuration::from_nanos(nanos)
 }
 
@@ -754,6 +796,75 @@ mod tests {
         assert_eq!(done[0].finished_at, at(40));
         assert_eq!(done[1].tag, "t");
         assert_eq!(done[1].finished_at, at(70));
+    }
+
+    #[test]
+    fn oom_error_display_uses_gib_not_raw_bytes() {
+        let mut d = device();
+        let p = d.register_process("side", Priority::Low, Some(MemBytes::from_gib(8)));
+        let err = d.alloc(p, MemBytes::from_gib(9)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("9.00GiB"), "GiB formatting in message: {msg}");
+        assert!(
+            !msg.contains(&MemBytes::from_gib(9).as_bytes().to_string()),
+            "no raw byte counts in message: {msg}"
+        );
+        assert!(msg.contains("MPS memory cap"), "{msg}");
+    }
+
+    #[test]
+    fn compute_speed_scales_completion_times() {
+        // 2x device: a 100ms-reference kernel completes in 50ms.
+        let mut d = GpuDevice::new(
+            GpuId(0),
+            MemBytes::from_gib(48),
+            Box::new(MpsPrioritized::default()),
+        )
+        .with_compute_speed(2.0);
+        let p = d.register_process("side", Priority::Low, None);
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(p, ms(100), 1.0, Priority::Low, "s"),
+        )
+        .unwrap();
+        assert_eq!(d.next_completion_time(), Some(at(50)));
+        let done = d.advance_through(at(50));
+        assert_eq!(done.len(), 1);
+        // Stretch is measured against the reference solo-time, so a fast
+        // device reports zero stretch for an uncontended kernel.
+        assert_eq!(done[0].stretch, SimDuration::ZERO);
+
+        // Quarter-speed device: the same kernel takes 400ms.
+        let mut slow = GpuDevice::new(
+            GpuId(1),
+            MemBytes::from_gib(48),
+            Box::new(MpsPrioritized::default()),
+        )
+        .with_compute_speed(0.25);
+        let p = slow.register_process("side", Priority::Low, None);
+        slow.launch(
+            SimTime::ZERO,
+            KernelSpec::new(p, ms(100), 1.0, Priority::Low, "s"),
+        )
+        .unwrap();
+        assert_eq!(slow.next_completion_time(), Some(at(400)));
+    }
+
+    #[test]
+    fn scaled_duration_inverts_compute_speed() {
+        let fast = device().with_compute_speed(2.0);
+        assert_eq!(fast.scaled_duration(ms(100)), ms(50));
+        assert_eq!(fast.compute_speed(), 2.0);
+        let reference = device();
+        assert_eq!(reference.scaled_duration(ms(100)), ms(100));
+        let slow = device().with_compute_speed(0.5);
+        assert_eq!(slow.scaled_duration(ms(100)), ms(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_compute_speed_rejected() {
+        let _ = device().with_compute_speed(0.0);
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! advances each device to the completion boundaries reported by
 //! [`GpuDevice::next_completion_time`].
 //!
+//! Devices need not be identical: a [`HardwareSpec`] describes one GPU's
+//! memory capacity, relative compute speed, and interference backend, with
+//! presets for common data-center parts — the substrate for heterogeneous
+//! fleets.
+//!
 //! ## Example: a training kernel stretched by a co-running side kernel
 //!
 //! ```
@@ -44,6 +49,7 @@
 
 mod container;
 mod device;
+mod hardware;
 mod ids;
 mod interference;
 mod kernel;
@@ -51,6 +57,7 @@ mod memory;
 
 pub use container::{ContainerRegistry, ContainerState};
 pub use device::{GpuDevice, GpuProcess, LaunchError, OomError, ProcessState};
+pub use hardware::{DefaultGpuModel, GpuModelFactory, HardwareSpec, SharingKind};
 pub use ids::{ContainerId, GpuId, KernelId, ProcessId};
 pub use interference::{InterferenceModel, KernelCtx, MpsPrioritized, TimeSliced, MIN_SPEED};
 pub use kernel::{KernelCompletion, KernelSpec, Priority};

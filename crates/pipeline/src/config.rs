@@ -11,7 +11,7 @@
 //! * free GPU memory < 3 GB at stage 0 up to > 20 GB at stage 3 (3.6B);
 //! * larger models ⇒ shorter bubbles with less free memory (Fig. 2a).
 
-use freeride_gpu::MemBytes;
+use freeride_gpu::{HardwareSpec, MemBytes};
 use freeride_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -118,8 +118,20 @@ pub struct PipelineConfig {
     /// Gap between epochs (data loading, logging) during which all stages
     /// idle.
     pub epoch_gap: SimDuration,
-    /// Physical memory of each GPU (48 GB on the paper's Server-I).
+    /// Physical memory of each GPU (48 GB on the paper's Server-I) when
+    /// the fleet is homogeneous; per-stage [`HardwareSpec`]s in
+    /// [`PipelineConfig::hardware`] override it.
     pub gpu_memory: MemBytes,
+    /// Per-stage hardware for heterogeneous fleets (one spec per stage,
+    /// in stage order). Empty — the default — means every stage runs the
+    /// paper's reference GPU with [`PipelineConfig::gpu_memory`] of
+    /// memory, reproducing the pre-hardware behavior byte-for-byte.
+    ///
+    /// Note for a future switch to registry `serde`: [`HardwareSpec`]
+    /// carries a trait-object factory and is not serializable — this
+    /// field would need `#[serde(skip)]` (specs are runtime
+    /// configuration, not wire data).
+    pub hardware: Vec<HardwareSpec>,
 }
 
 impl PipelineConfig {
@@ -143,6 +155,7 @@ impl PipelineConfig {
             launch_overhead: SimDuration::from_millis(4),
             epoch_gap: SimDuration::from_millis(60),
             gpu_memory: MemBytes::from_gib(48),
+            hardware: Vec::new(),
         }
     }
 
@@ -158,22 +171,108 @@ impl PipelineConfig {
         self
     }
 
+    /// Replaces the whole fleet with per-stage hardware (builder style):
+    /// one [`HardwareSpec`] per stage, in stage order. Pass an empty
+    /// vector to return to the homogeneous
+    /// [`PipelineConfig::gpu_memory`] default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty `specs` does not have exactly one entry per
+    /// stage.
+    pub fn with_hardware(mut self, specs: Vec<HardwareSpec>) -> Self {
+        assert!(
+            specs.is_empty() || specs.len() == self.stages,
+            "need one hardware spec per stage: got {} for {} stages",
+            specs.len(),
+            self.stages
+        );
+        self.hardware = specs;
+        self
+    }
+
+    /// Replaces one stage's hardware (builder style). A homogeneous
+    /// config is first expanded to the reference fleet, so the other
+    /// stages keep today's behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn with_worker_hardware(mut self, stage: StageId, spec: HardwareSpec) -> Self {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        if self.hardware.is_empty() {
+            self.hardware = (0..self.stages).map(|_| self.reference_spec()).collect();
+        }
+        self.hardware[stage] = spec;
+        self
+    }
+
+    /// The spec a homogeneous config implies for every stage: the paper's
+    /// reference GPU with [`PipelineConfig::gpu_memory`] of memory.
+    fn reference_spec(&self) -> HardwareSpec {
+        HardwareSpec::rtx6000ada_48g().with_memory(self.gpu_memory)
+    }
+
+    /// The hardware of stage `s`: its explicit spec in a heterogeneous
+    /// fleet, or the reference GPU at [`PipelineConfig::gpu_memory`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn hardware_of(&self, stage: StageId) -> HardwareSpec {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        self.hardware
+            .get(stage)
+            .cloned()
+            .unwrap_or_else(|| self.reference_spec())
+    }
+
+    /// Physical memory of stage `s`'s GPU.
+    pub fn device_memory(&self, stage: StageId) -> MemBytes {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        self.hardware
+            .get(stage)
+            .map_or(self.gpu_memory, |h| h.memory())
+    }
+
+    /// Relative compute speed of stage `s`'s GPU (reference = `1.0`).
+    pub fn compute_speed(&self, stage: StageId) -> f64 {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        self.hardware.get(stage).map_or(1.0, |h| h.compute_speed())
+    }
+
+    /// Whether the fleet mixes hardware (explicit per-stage specs).
+    pub fn is_heterogeneous(&self) -> bool {
+        !self.hardware.is_empty()
+    }
+
     /// Validates structural constraints.
     ///
     /// # Panics
     ///
-    /// Panics if stages < 2, micro-batches == 0, or epochs == 0: pipeline
-    /// parallelism (and its bubbles) only exists with ≥ 2 stages.
+    /// Panics if stages < 2, micro-batches == 0, or epochs == 0 (pipeline
+    /// parallelism — and its bubbles — only exists with ≥ 2 stages), if a
+    /// heterogeneous fleet does not supply one spec per stage, or if any
+    /// stage's pinned training memory exceeds its GPU's capacity.
     pub fn validate(&self) {
         assert!(self.stages >= 2, "pipeline parallelism needs ≥ 2 stages");
         assert!(self.micro_batches >= 1, "need at least one micro-batch");
         assert!(self.epochs >= 1, "need at least one epoch");
-        let worst = self.stage_memory(0);
         assert!(
-            worst <= self.gpu_memory,
-            "stage 0 needs {worst} but GPUs have {}",
-            self.gpu_memory
+            self.hardware.is_empty() || self.hardware.len() == self.stages,
+            "need one hardware spec per stage: got {} for {} stages",
+            self.hardware.len(),
+            self.stages
         );
+        for s in 0..self.stages {
+            let need = self.stage_memory(s);
+            let have = self.device_memory(s);
+            assert!(
+                need <= have,
+                "stage {s} needs {need} but its GPU ({}) has {have}",
+                self.hardware_of(s).name()
+            );
+        }
     }
 
     /// Solo duration of one FP operation including launch overhead.
@@ -198,9 +297,11 @@ impl PipelineConfig {
     }
 
     /// Free GPU memory on stage `s` during bubbles — what a side task can
-    /// use (paper Fig. 1(b), "Unutilized").
+    /// use (paper Fig. 1(b), "Unutilized"). Heterogeneous fleets compute
+    /// this against the stage's own device capacity.
     pub fn stage_free_memory(&self, stage: StageId) -> MemBytes {
-        self.gpu_memory.saturating_sub(self.stage_memory(stage))
+        self.device_memory(stage)
+            .saturating_sub(self.stage_memory(stage))
     }
 }
 
@@ -303,5 +404,70 @@ mod tests {
         let mut cfg = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b());
         cfg.stages = 1;
         cfg.validate();
+    }
+
+    #[test]
+    fn homogeneous_default_matches_gpu_memory() {
+        let cfg = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b());
+        assert!(!cfg.is_heterogeneous());
+        for s in 0..cfg.stages {
+            assert_eq!(cfg.device_memory(s), cfg.gpu_memory);
+            assert_eq!(cfg.compute_speed(s), 1.0);
+            assert_eq!(cfg.hardware_of(s).memory(), cfg.gpu_memory);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_fleet_changes_free_memory_per_stage() {
+        let cfg = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_hardware(vec![
+            HardwareSpec::h100_80g(),
+            HardwareSpec::a100_80g(),
+            HardwareSpec::rtx6000ada_48g(),
+            HardwareSpec::a100_40g(),
+        ]);
+        cfg.validate();
+        assert!(cfg.is_heterogeneous());
+        // Stage 0 gains the 80 GiB card's extra headroom over the 48 GiB
+        // homogeneous default.
+        let homogeneous = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b());
+        assert_eq!(
+            cfg.stage_free_memory(0),
+            homogeneous.stage_free_memory(0) + MemBytes::from_gib(32)
+        );
+        assert_eq!(
+            cfg.compute_speed(0),
+            HardwareSpec::h100_80g().compute_speed()
+        );
+        assert_eq!(cfg.compute_speed(2), 1.0);
+    }
+
+    #[test]
+    fn with_worker_hardware_expands_then_overrides_one_stage() {
+        let cfg = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+            .with_worker_hardware(3, HardwareSpec::h100_80g());
+        cfg.validate();
+        assert_eq!(cfg.hardware.len(), 4);
+        assert_eq!(cfg.hardware_of(3).name(), "h100-80g");
+        // Other stages keep the homogeneous default exactly.
+        for s in 0..3 {
+            assert_eq!(cfg.device_memory(s), cfg.gpu_memory);
+            assert_eq!(cfg.compute_speed(s), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one hardware spec per stage")]
+    fn wrong_fleet_size_rejected() {
+        let _ = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+            .with_hardware(vec![HardwareSpec::h100_80g()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "but its GPU")]
+    fn undersized_stage_device_rejected() {
+        // The 3.6B model pins ~45 GiB on stage 0: an L4 cannot host it.
+        PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b())
+            .with_worker_hardware(0, HardwareSpec::l4_24g())
+            .validate();
     }
 }

@@ -9,7 +9,7 @@ use crate::bubble::{BubbleProfile, BubbleReport, BubbleStats};
 use crate::config::PipelineConfig;
 use crate::engine::{EngineAction, PipelineEngine};
 use crate::schedule::ScheduleKind;
-use freeride_gpu::{GpuDevice, GpuId, MpsPrioritized};
+use freeride_gpu::{GpuDevice, GpuId, SharingKind};
 use freeride_sim::{EventId, Scheduler, SimDuration, SimTime, Simulation, TraceRecorder, World};
 
 /// Result of a standalone training run.
@@ -111,11 +111,8 @@ pub fn run_training(cfg: &PipelineConfig, kind: ScheduleKind) -> TrainingRun {
     let mut engine = PipelineEngine::new(cfg.clone(), kind);
     let mut devices: Vec<GpuDevice> = (0..cfg.stages)
         .map(|i| {
-            GpuDevice::new(
-                GpuId(i as u32),
-                cfg.gpu_memory,
-                Box::new(MpsPrioritized::default()),
-            )
+            cfg.hardware_of(i)
+                .build_device(GpuId(i as u32), SharingKind::Prioritized)
         })
         .collect();
     engine.init(&mut devices);
@@ -328,6 +325,37 @@ mod tests {
         assert!(!p.is_empty());
         // Stage 0 has no start Type-A: its first bubble is Type-B.
         assert_eq!(p.stage_bubbles(0).next().unwrap().kind, BubbleKind::TypeB);
+    }
+
+    #[test]
+    fn faster_fleet_trains_faster_and_reshapes_bubbles() {
+        use freeride_gpu::HardwareSpec;
+        let reference = run_training(&cfg(), ScheduleKind::OneFOneB);
+        // All four stages on H100s: every op retires ~1.9x faster, so the
+        // epoch shortens (comm latency and gaps are unchanged).
+        let fast = run_training(
+            &cfg().with_hardware(vec![HardwareSpec::h100_80g(); 4]),
+            ScheduleKind::OneFOneB,
+        );
+        assert!(fast.total_time < reference.total_time);
+        // A mixed fleet (slow early stages, fast late stages) produces a
+        // *different* bubble profile than the uniform one — heterogeneity
+        // is observable, not cosmetic.
+        let mixed = run_training(
+            &cfg().with_hardware(vec![
+                HardwareSpec::rtx6000ada_48g(),
+                HardwareSpec::rtx6000ada_48g(),
+                HardwareSpec::h100_80g(),
+                HardwareSpec::h100_80g(),
+            ]),
+            ScheduleKind::OneFOneB,
+        );
+        let durations = |run: &TrainingRun| -> Vec<SimDuration> {
+            run.profile.iter().map(|b| b.duration).collect()
+        };
+        assert_ne!(durations(&mixed), durations(&reference));
+        assert!(mixed.total_time < reference.total_time);
+        assert!(mixed.total_time > fast.total_time);
     }
 
     #[test]

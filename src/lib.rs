@@ -68,13 +68,13 @@ pub mod prelude {
     pub use freeride_core::{
         evaluate, run_baseline, run_colocation, time_increase, BestFitMemory, Cluster,
         ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle, ClusterView, ColocationMode,
-        ColocationRun, CostReport, Deployment, DeploymentBuilder, DeploymentReport, FirstFit,
-        FreeRideConfig, InterfaceKind, JobView, LeastLoaded, MinTasksJob, Misbehavior, Placement,
-        PlacementPolicy, RejectedSubmission, SideTaskManager, SideTaskState, StopReason,
+        ColocationRun, CostReport, Deployment, DeploymentBuilder, DeploymentReport, FastestFit,
+        FirstFit, FreeRideConfig, InterfaceKind, JobView, LeastLoaded, MinTasksJob, Misbehavior,
+        Placement, PlacementPolicy, RejectedSubmission, SideTaskManager, SideTaskState, StopReason,
         Submission, SubmitError, TaskHandle, TaskId, TaskSummary, Transition, WorkerPolicy,
         WorkerView,
     };
-    pub use freeride_gpu::{GpuDevice, GpuId, MemBytes, Priority};
+    pub use freeride_gpu::{GpuDevice, GpuId, HardwareSpec, MemBytes, Priority, SharingKind};
     pub use freeride_pipeline::{
         run_training, BubbleKind, BubbleProfile, BubbleReport, ModelSpec, PipelineConfig,
         ScheduleKind,

@@ -3,10 +3,11 @@
 //! queue, and whole-pipeline termination for arbitrary shapes.
 
 use freeride::core::{
-    next_state, Deployment, FreeRideConfig, SideTaskManager, SideTaskState, Submission, TaskId,
-    Transition, WorkerPolicy,
+    next_state, BestFitMemory, Cluster, ClusterJob, Deployment, FastestFit, FirstFit,
+    FreeRideConfig, LeastLoaded, MinTasksJob, Placement, PlacementPolicy, SideTaskManager,
+    SideTaskState, Submission, TaskId, Transition, WorkerPolicy,
 };
-use freeride::gpu::{MemBytes, MemoryPool};
+use freeride::gpu::{HardwareSpec, MemBytes, MemoryPool};
 use freeride::pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
 use freeride::sim::{EventQueue, SimTime};
 use freeride::tasks::WorkloadKind;
@@ -151,6 +152,74 @@ proptest! {
                     // Rejection must mean no worker could hold it.
                     prop_assert!(worker_mems.iter().all(|wm| *wm <= req));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn no_cluster_policy_overplaces_on_random_hetero_fleets(
+        extras in prop::collection::vec(0u64..40, 8),
+        speed_tenths in prop::collection::vec(1u64..40, 8),
+        needed_gib in 1u64..48,
+    ) {
+        // Two jobs on randomized heterogeneous fleets: per stage, a
+        // device barely big enough for training plus 0–39 GiB of bubble
+        // headroom, at a random speed in 0.1x–3.9x. Every shipped policy
+        // (including the hardware-aware FastestFit) must only ever place
+        // where free memory strictly exceeds the request, and must not
+        // miss a feasible placement.
+        let base = PipelineConfig::paper_default(ModelSpec::nanogpt_1_2b());
+        let spec = |s: usize, extra: u64, tenths: u64| {
+            let mem = base.stage_memory(s) + MemBytes::from_gib(extra) + MemBytes::from_mib(1);
+            HardwareSpec::custom(format!("rand-{s}"), mem, tenths as f64 / 10.0)
+        };
+        let job = |off: usize| {
+            let fleet = (0..4)
+                .map(|s| spec(s, extras[off + s], speed_tenths[off + s]))
+                .collect();
+            ClusterJob::new(base.clone().with_hardware(fleet))
+        };
+        let cluster = Cluster::builder()
+            .job(job(0))
+            .job(job(4))
+            .cost_report(false)
+            .build();
+        let view = cluster.view();
+        let needed = MemBytes::from_gib(needed_gib);
+        let any_fits = view
+            .jobs()
+            .iter()
+            .any(|j| j.workers.iter().any(|w| w.free_mem > needed));
+        let policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(FirstFit),
+            Box::new(BestFitMemory),
+            Box::new(LeastLoaded),
+            Box::new(FastestFit),
+            Box::new(MinTasksJob),
+        ];
+        for policy in policies {
+            match policy.place(needed, &view) {
+                Some(Placement::Worker { job, worker }) => {
+                    let w = &view.jobs()[job].workers[worker];
+                    prop_assert!(
+                        w.free_mem > needed,
+                        "{} placed {needed} on job {job} worker {worker} offering {}",
+                        policy.name(),
+                        w.free_mem
+                    );
+                }
+                Some(Placement::Job(job)) => {
+                    prop_assert!(
+                        view.jobs()[job].workers.iter().any(|w| w.free_mem > needed),
+                        "{} routed {needed} to job {job} with no fitting worker",
+                        policy.name()
+                    );
+                }
+                None => prop_assert!(
+                    !any_fits,
+                    "{} rejected {needed} although a worker fits",
+                    policy.name()
+                ),
             }
         }
     }

@@ -14,7 +14,10 @@
 //!    `cluster_events_per_sec` (the multi-job-scale metric);
 //! 4. **Hetero run** — the 1.2B model on a mixed fleet (H100 / A100-80 /
 //!    A100-40 / L4) under `FastestFit` placement, reporting
-//!    `hetero_events_per_sec` (the heterogeneous-hardware metric).
+//!    `hetero_events_per_sec` (the heterogeneous-hardware metric);
+//! 5. **Chaos run** — the chaos benchmark's five-cell grid (one fault
+//!    trace under every resilience mechanism), reporting
+//!    `chaos_events_per_sec` (the fault-injection-path metric).
 //!
 //! Results are printed and written to `BENCH.json` in the current
 //! directory so every PR leaves a perf trajectory to regress against
@@ -23,7 +26,7 @@
 //! Run: `cargo run --release -p freeride-bench --bin perf
 //! [epochs] [--threads N]`
 
-use freeride_bench::{all_methods, default_threads, main_pipeline, BenchArgs, SweepRunner};
+use freeride_bench::{all_methods, chaos, default_threads, main_pipeline, BenchArgs, SweepRunner};
 use freeride_core::{
     run_colocation, Cluster, ClusterJob, ColocationRun, FastestFit, FreeRideConfig, LeastLoaded,
     Submission,
@@ -136,6 +139,29 @@ fn hetero_perf(args: &BenchArgs) -> SingleRun {
     }
 }
 
+/// The standard chaos run: the five-cell mechanism grid, sequentially.
+fn chaos_run_once(args: &BenchArgs) -> u64 {
+    let seed = args.seed.unwrap_or(chaos::DEFAULT_SEED);
+    chaos::run_cells(args.epochs, seed, SweepRunner::new(1))
+        .iter()
+        .map(|o| o.events)
+        .sum()
+}
+
+/// One measurement of the fault-injection hot path.
+fn chaos_perf(args: &BenchArgs) -> SingleRun {
+    // One warm-up, then the measured run.
+    let _ = chaos_run_once(args);
+    let start = Instant::now();
+    let events = chaos_run_once(args);
+    let wall_s = start.elapsed().as_secs_f64();
+    SingleRun {
+        wall_s,
+        events,
+        events_per_sec: events as f64 / wall_s,
+    }
+}
+
 /// The standard sweep: one closure per independent simulation.
 fn sweep_jobs(args: &BenchArgs) -> Vec<Box<dyn FnOnce() -> ColocationRun + Send>> {
     let pipeline = main_pipeline(args.epochs);
@@ -195,6 +221,13 @@ fn main() {
         hetero.wall_s, hetero.events, hetero.events_per_sec
     );
 
+    println!("-- chaos run (5-cell resilience grid on one fault trace) --");
+    let chaos_run = chaos_perf(&args);
+    println!(
+        "wall {:.3}s, {} events, {:.0} chaos events/sec",
+        chaos_run.wall_s, chaos_run.events, chaos_run.events_per_sec
+    );
+
     println!("-- standard sweep (10 runs: table1 workloads + table2 mixed methods) --");
     let (seq_s, seq_events) = timed_sweep(SweepRunner::new(1), &args);
     println!("sequential: {seq_s:.3}s ({seq_events} events)");
@@ -215,13 +248,14 @@ fn main() {
         .unwrap_or(0);
     let json = format!(
         "{{\n  \
-         \"bench_version\": 3,\n  \
+         \"bench_version\": 4,\n  \
          \"unix_time\": {unix_time},\n  \
          \"host\": {{ \"cores\": {cores} }},\n  \
          \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10, \"cluster_jobs\": 4 }},\n  \
          \"single_run\": {{ \"wall_s\": {sw:.4}, \"events\": {se}, \"events_per_sec\": {seps:.0} }},\n  \
          \"cluster\": {{ \"wall_s\": {cw:.4}, \"events\": {ce}, \"cluster_events_per_sec\": {ceps:.0} }},\n  \
          \"hetero\": {{ \"wall_s\": {hw:.4}, \"events\": {he}, \"hetero_events_per_sec\": {heps:.0} }},\n  \
+         \"chaos\": {{ \"wall_s\": {xw:.4}, \"events\": {xe}, \"chaos_events_per_sec\": {xeps:.0} }},\n  \
          \"sweep\": {{ \"sequential_s\": {qs:.4}, \"parallel_s\": {ps:.4}, \"speedup\": {sp:.3}, \"events\": {ev} }}\n\
          }}\n",
         epochs = args.epochs,
@@ -235,6 +269,9 @@ fn main() {
         hw = hetero.wall_s,
         he = hetero.events,
         heps = hetero.events_per_sec,
+        xw = chaos_run.wall_s,
+        xe = chaos_run.events,
+        xeps = chaos_run.events_per_sec,
         qs = seq_s,
         ps = par_s,
         sp = speedup,

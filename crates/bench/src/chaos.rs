@@ -1,0 +1,279 @@
+//! The chaos benchmark: one deterministic fault trace replayed under
+//! every resilience mechanism, so their effects can be compared on the
+//! same disaster.
+//!
+//! The scenario is a single 4-stage 3.6B training job whose first eleven
+//! simulated seconds go badly wrong:
+//!
+//! * an **OOM window** from 3.0s to 5.0s rejects every admission;
+//! * worker 1 **crashes twice** — at 4.0s (down 1s) and again at 5.2s
+//!   (down 3s) — a flapping worker that kills its side tasks;
+//! * an **RPC spike** pins manager↔worker-3 latency at 40ms for the
+//!   second starting at 5.0s;
+//! * worker 2 **straggles** at ×0.25 compute speed from 6.0s to 10.0s.
+//!
+//! Against that trace run two steady side tasks (placed on workers 0 and
+//! 1 up front), one late arrival inside the OOM window, and one arrival
+//! pinned — by the scenario's placement policy — to the flapping worker
+//! between its two crashes. Each cell of [`CELLS`] replays the identical
+//! trace under a different mechanism mix:
+//!
+//! | cell | mechanisms | what it shows |
+//! |---|---|---|
+//! | `none` | — | both arrivals rejected, worker 1's task lost |
+//! | `retry` | [`RetryPolicy`] | arrivals back off past the OOM window |
+//! | `checkpoint` | checkpoint/restart | worker 1's task survives both crashes |
+//! | `breaker` | [`CircuitBreaker`] + retry | the pinned arrival waits out the flapping |
+//! | `all` | all three | the mechanisms compose |
+//!
+//! (A breaker only acts on *re*-submissions, so its cell rides on retry;
+//! its isolated contribution is the delta against the `retry` cell.)
+//!
+//! Everything here is deterministic: cells fan out across threads via
+//! [`SweepRunner`] and come back in submission order, so the chaos bin's
+//! output is byte-identical for any `--threads`.
+
+use crate::sweep::SweepRunner;
+use freeride_core::{
+    CircuitBreaker, Cluster, ClusterJob, ClusterReport, ClusterView, FaultPlan, MinTasksJob,
+    Placement, PlacementPolicy, RetryPolicy, StopReason, Submission, SubmitOptions,
+};
+use freeride_gpu::MemBytes;
+use freeride_pipeline::{ModelSpec, PipelineConfig};
+use freeride_sim::{SimDuration, SimTime};
+use freeride_tasks::WorkloadKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker the fault trace crashes twice.
+pub const FLAPPING_WORKER: usize = 1;
+
+/// Submissions routed normally before the policy starts pinning to the
+/// flapping worker (two up-front tasks plus the OOM-window arrival).
+const ROUTED_NORMALLY: usize = 3;
+
+/// Default seed of the scenario's job (overridable via `--seed`).
+pub const DEFAULT_SEED: u64 = 0xC4A05;
+
+/// The scenario's placement policy: the first [`ROUTED_NORMALLY`]
+/// submissions spread like [`MinTasksJob`]; every later one is pinned to
+/// [`FLAPPING_WORKER`] — giving the resilience mechanisms a submission
+/// stream aimed straight at the disaster.
+struct PinLateToFlapping {
+    routed: AtomicUsize,
+}
+
+impl PinLateToFlapping {
+    fn new() -> Self {
+        PinLateToFlapping {
+            routed: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl PlacementPolicy for PinLateToFlapping {
+    fn name(&self) -> &'static str {
+        "pin-late"
+    }
+
+    fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
+        if self.routed.fetch_add(1, Ordering::Relaxed) < ROUTED_NORMALLY {
+            MinTasksJob.place(needed, view)
+        } else {
+            Some(Placement::Worker {
+                job: 0,
+                worker: FLAPPING_WORKER,
+            })
+        }
+    }
+}
+
+/// The shared fault trace every cell replays.
+pub fn fault_plan() -> FaultPlan {
+    FaultPlan::new()
+        .oom_window(SimTime::from_millis(3_000), SimDuration::from_secs(2))
+        .crash_worker(
+            SimTime::from_millis(4_000),
+            FLAPPING_WORKER,
+            SimDuration::from_secs(1),
+        )
+        .rpc_spike(
+            SimTime::from_millis(5_000),
+            3,
+            SimDuration::from_millis(40),
+            SimDuration::from_secs(1),
+        )
+        .crash_worker(
+            SimTime::from_millis(5_200),
+            FLAPPING_WORKER,
+            SimDuration::from_secs(3),
+        )
+        .straggler(
+            SimTime::from_millis(6_000),
+            2,
+            0.25,
+            SimDuration::from_secs(4),
+        )
+}
+
+/// One mechanism mix the trace is replayed under.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCell {
+    /// Row label in the chaos report.
+    pub name: &'static str,
+    /// Arrivals carry a [`RetryPolicy`] (8 attempts, 200ms base backoff).
+    pub retry: bool,
+    /// The job checkpoints side-task progress every simulated second.
+    pub checkpoint: bool,
+    /// The placement policy is wrapped in a [`CircuitBreaker`]
+    /// (threshold 2, cooldown 3s); implies retry (see module docs).
+    pub breaker: bool,
+}
+
+/// The benchmark grid: no mechanism, each mechanism, all three.
+pub const CELLS: [ChaosCell; 5] = [
+    ChaosCell {
+        name: "none",
+        retry: false,
+        checkpoint: false,
+        breaker: false,
+    },
+    ChaosCell {
+        name: "retry",
+        retry: true,
+        checkpoint: false,
+        breaker: false,
+    },
+    ChaosCell {
+        name: "checkpoint",
+        retry: false,
+        checkpoint: true,
+        breaker: false,
+    },
+    ChaosCell {
+        name: "breaker",
+        retry: true,
+        checkpoint: false,
+        breaker: true,
+    },
+    ChaosCell {
+        name: "all",
+        retry: true,
+        checkpoint: true,
+        breaker: true,
+    },
+];
+
+/// What one cell's run came to, reduced to the comparison metrics.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Cell label.
+    pub name: &'static str,
+    /// Active placement policy (`pin-late`, or `circuit-breaker` wrapping it).
+    pub policy: &'static str,
+    /// Completed side-task steps across the job.
+    pub steps: u64,
+    /// Rejected submissions (at submission plus in-run).
+    pub rejections: usize,
+    /// Tasks that died with the worker ([`StopReason::WorkerLost`]).
+    pub lost: usize,
+    /// Recoveries (retry that stuck, or checkpoint restore).
+    pub recoveries: usize,
+    /// Longest first-failure-to-recovery latency.
+    pub worst_recovery: SimDuration,
+    /// Discrete events the simulation processed.
+    pub events: u64,
+}
+
+/// Formats one outcome as the chaos bin prints it.
+pub fn row(o: &CellOutcome) -> String {
+    format!
+        (
+        "{:<11} policy={:<15} steps={:<6} rejected={} lost={} recovered={} worst_recovery={} events={}",
+        o.name, o.policy, o.steps, o.rejections, o.lost, o.recoveries, o.worst_recovery, o.events
+    )
+}
+
+/// Replays the fault trace for `epochs` under one mechanism mix.
+pub fn run_cell(epochs: usize, seed: u64, cell: ChaosCell) -> CellOutcome {
+    let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(epochs);
+    let mut job = ClusterJob::new(pipeline).seed(seed).faults(fault_plan());
+    if cell.checkpoint {
+        job = job.checkpoint(SimDuration::from_secs(1));
+    }
+    let builder = Cluster::builder().job(job).cost_report(false);
+    let builder = if cell.breaker {
+        builder.policy(CircuitBreaker::new(
+            PinLateToFlapping::new(),
+            2,
+            SimDuration::from_secs(3),
+        ))
+    } else {
+        builder.policy(PinLateToFlapping::new())
+    };
+    let mut cluster = builder.build();
+
+    let retry = RetryPolicy::new(8, SimDuration::from_millis(200));
+    let opts = || {
+        if cell.retry {
+            SubmitOptions::new().retry(retry)
+        } else {
+            SubmitOptions::new()
+        }
+    };
+
+    // Two steady tasks: Algorithm 1 spreads them onto workers 0 and 1 —
+    // the second lands in the path of both crashes.
+    for _ in 0..2 {
+        cluster
+            .submit(Submission::new(WorkloadKind::PageRank))
+            .expect("up-front tasks fit");
+    }
+    // Arrival inside the OOM window (3.0–5.0s): dead on arrival without
+    // retry, admitted onto an idle worker once the window passes with it.
+    let _ = cluster.submit_with(
+        Submission::new(WorkloadKind::ImageProc).at(SimTime::from_millis(3_500)),
+        opts(),
+    );
+    // Arrival pinned to the flapping worker between its two crashes: the
+    // cell that fares best is the breaker's, which sheds the doomed
+    // placement attempts and probes back only once the worker stays up.
+    let _ = cluster.submit_with(
+        Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(4_500)),
+        opts(),
+    );
+
+    summarize(cell.name, &cluster.run())
+}
+
+/// Runs every cell of [`CELLS`] (fanned across `runner`'s threads) and
+/// returns outcomes in grid order.
+pub fn run_cells(epochs: usize, seed: u64, runner: SweepRunner) -> Vec<CellOutcome> {
+    let jobs: Vec<_> = CELLS
+        .into_iter()
+        .map(|cell| move || run_cell(epochs, seed, cell))
+        .collect();
+    runner.run(jobs)
+}
+
+fn summarize(name: &'static str, report: &ClusterReport) -> CellOutcome {
+    let job = &report.jobs[0];
+    CellOutcome {
+        name,
+        policy: report.policy,
+        steps: report.total_steps(),
+        rejections: report.total_rejections(),
+        lost: job
+            .tasks
+            .iter()
+            .filter(|t| t.stop_reason == StopReason::WorkerLost)
+            .count(),
+        recoveries: job.recoveries.len(),
+        worst_recovery: job
+            .recoveries
+            .iter()
+            .map(|(_, d)| *d)
+            .max()
+            .unwrap_or(SimDuration::ZERO),
+        events: report.events_processed,
+    }
+}

@@ -16,7 +16,8 @@
 //! | `ablations` | design-choice sweeps (grace period, RPC latency, margin, placement) |
 //! | `cluster` | beyond the paper: multi-job cluster scaling, job count × placement policy |
 //! | `hetero` | beyond the paper: heterogeneous GPU fleets, fleet mix × placement policy |
-//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, hetero, sweep speedup |
+//! | `chaos` | beyond the paper: one fault trace under every resilience mechanism |
+//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, hetero, chaos, sweep speedup |
 //!
 //! Run them all: `cargo bench -p freeride-bench` (the `paper_experiments`
 //! bench target), or individually `cargo run --release -p freeride-bench
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod sweep;
 
 pub use sweep::{default_threads, SweepRunner};

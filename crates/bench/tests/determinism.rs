@@ -2,7 +2,7 @@
 //! simulations across threads must produce byte-identical results to a
 //! sequential run of the same closures, in submission order.
 
-use freeride_bench::{main_pipeline, SweepRunner};
+use freeride_bench::{chaos, main_pipeline, SweepRunner};
 use freeride_core::{
     run_colocation, BestFitMemory, Cluster, ClusterJob, FastestFit, FirstFit, FreeRideConfig,
     LeastLoaded, MinTasksJob, PlacementPolicy, Submission,
@@ -167,6 +167,30 @@ fn hetero_sweep_is_byte_identical_to_sequential() {
         assert_eq!(
             sequential, parallel,
             "threads={threads} must not change a single byte of hetero output"
+        );
+    }
+}
+
+/// The chaos-bin row computation: the five-cell resilience grid over one
+/// fault trace, formatted exactly like the binary's output rows.
+fn chaos_rows(threads: usize) -> Vec<String> {
+    chaos::run_cells(3, chaos::DEFAULT_SEED, SweepRunner::new(threads))
+        .iter()
+        .map(chaos::row)
+        .collect()
+}
+
+#[test]
+fn chaos_sweep_is_byte_identical_to_sequential() {
+    // The ISSUE's bar: the chaos bin must print the same bytes for any
+    // `--threads`, even though its cells inject faults, retry arrivals,
+    // and restore checkpointed tasks.
+    let sequential = chaos_rows(1);
+    for threads in [2, 4] {
+        let parallel = chaos_rows(threads);
+        assert_eq!(
+            sequential, parallel,
+            "threads={threads} must not change a single byte of chaos output"
         );
     }
 }

@@ -36,19 +36,25 @@ use crate::deployment::{
     assemble_report, AcceptedSubmission, DeploymentReport, RejectedSubmission, Submission,
     TaskHandle,
 };
+use crate::fault::{FaultPlan, SubmitOptions};
 use crate::manager::SubmitError;
 use crate::orchestrator::{execute_cluster, JobExecSpec, TaskSummary};
 use crate::state::SideTaskState;
 use crate::task::{StopReason, TaskId};
 use freeride_gpu::{HardwareSpec, MemBytes};
 use freeride_pipeline::{PipelineConfig, ScheduleKind};
-use freeride_sim::SimDuration;
+use freeride_sim::{SimDuration, SimTime};
 use freeride_tasks::WorkloadTag;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// Where a [`PlacementPolicy`] routed a submission.
+///
+/// Marked `#[non_exhaustive]`: placement targets grow with the cluster
+/// model (e.g. multi-worker gang placements), so downstream matches need
+/// a `_` arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Placement {
     /// Route to a job and let that job's manager pick the worker
     /// dynamically (the paper's Algorithm 1, evaluated at arrival time).
@@ -62,6 +68,20 @@ pub enum Placement {
     },
 }
 
+/// State of one worker's circuit breaker, as surfaced through
+/// [`WorkerView::breaker`] (see [`crate::CircuitBreaker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: submissions route normally.
+    Closed,
+    /// Tripped: submissions to this worker are shed with
+    /// [`SubmitError::CircuitOpen`] until the cooldown passes.
+    Open,
+    /// Cooldown over: one probe submission is allowed through; its
+    /// outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
 /// Read-only snapshot of one worker slot offered to a policy.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerView {
@@ -70,6 +90,11 @@ pub struct WorkerView {
     /// Bubble free memory this worker offers (the admission capacity of
     /// Algorithm 1 — a task needs *strictly less* than this to fit).
     pub free_mem: MemBytes,
+    /// Current free bubble memory at decision time: [`WorkerView::free_mem`]
+    /// minus the memory of submissions already pinned to this worker — the
+    /// one-snapshot number policies used to re-derive from `free_mem` and
+    /// `assigned`.
+    pub free_memory: MemBytes,
     /// Submissions already pinned to this worker by earlier placements.
     pub assigned: usize,
     /// Relative compute speed of this worker's GPU (reference hardware =
@@ -77,6 +102,9 @@ pub struct WorkerView {
     pub compute_speed: f64,
     /// Physical memory of this worker's GPU.
     pub device_memory: MemBytes,
+    /// This worker's circuit-breaker state, when the active policy is (or
+    /// wraps) a [`crate::CircuitBreaker`]; `None` otherwise.
+    pub breaker: Option<BreakerState>,
 }
 
 /// Read-only snapshot of one job offered to a policy.
@@ -101,7 +129,7 @@ impl JobView {
 /// worker slots with their bubble memory and current routing load.
 #[derive(Debug, Clone)]
 pub struct ClusterView {
-    jobs: Vec<JobView>,
+    pub(crate) jobs: Vec<JobView>,
 }
 
 impl ClusterView {
@@ -159,6 +187,29 @@ pub trait PlacementPolicy: Send + Sync {
     /// Chooses where to place a submission needing `needed` bubble
     /// memory, or `None` if no candidate fits.
     fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement>;
+
+    /// Feedback middleware hook: the orchestrator reports every in-run
+    /// admission outcome (`ok` = admitted) for the worker it targeted.
+    /// Stateless policies ignore it; [`crate::CircuitBreaker`] counts
+    /// consecutive failures here.
+    fn on_outcome(&self, now: SimTime, placement: Placement, ok: bool) {
+        let _ = (now, placement, ok);
+    }
+
+    /// Load-shedding middleware hook: whether submissions to `worker` of
+    /// `job` should currently be shed (rejected with
+    /// [`SubmitError::CircuitOpen`]) instead of admitted. Default: never.
+    fn blocks(&self, now: SimTime, job: usize, worker: usize) -> bool {
+        let _ = (now, job, worker);
+        false
+    }
+
+    /// The circuit-breaker state for `worker` of `job`, surfaced into
+    /// [`WorkerView::breaker`]. `None` for policies without breakers.
+    fn breaker_state(&self, job: usize, worker: usize) -> Option<BreakerState> {
+        let _ = (job, worker);
+        None
+    }
 }
 
 /// Boxed policies are policies too, so runtime-chosen policies (e.g. a
@@ -171,6 +222,18 @@ impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
 
     fn place(&self, needed: MemBytes, view: &ClusterView) -> Option<Placement> {
         (**self).place(needed, view)
+    }
+
+    fn on_outcome(&self, now: SimTime, placement: Placement, ok: bool) {
+        (**self).on_outcome(now, placement, ok)
+    }
+
+    fn blocks(&self, now: SimTime, job: usize, worker: usize) -> bool {
+        (**self).blocks(now, job, worker)
+    }
+
+    fn breaker_state(&self, job: usize, worker: usize) -> Option<BreakerState> {
+        (**self).breaker_state(job, worker)
     }
 }
 
@@ -324,6 +387,8 @@ impl PlacementPolicy for MinTasksJob {
 pub struct ClusterJob {
     pipeline: PipelineConfig,
     cfg: FreeRideConfig,
+    faults: FaultPlan,
+    checkpoint: Option<SimDuration>,
 }
 
 impl ClusterJob {
@@ -333,6 +398,8 @@ impl ClusterJob {
         ClusterJob {
             pipeline,
             cfg: FreeRideConfig::iterative(),
+            faults: FaultPlan::new(),
+            checkpoint: None,
         }
     }
 
@@ -393,17 +460,53 @@ impl ClusterJob {
         self.pipeline = self.pipeline.with_worker_hardware(stage, spec);
         self
     }
+
+    /// Attaches a deterministic [`FaultPlan`] to this job: its events are
+    /// injected at exact simulated times during [`Cluster::run`]. An
+    /// empty plan (the default) leaves the run byte-identical to one with
+    /// no plan at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`ClusterBuilder::build`]) if the plan targets a worker
+    /// the pipeline does not have, or uses a non-positive straggler
+    /// factor.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables side-task checkpoint/restart for this job: every
+    /// `interval` of simulated time the orchestrator snapshots each live
+    /// side task's progress, and when a crashed worker's daemon restarts,
+    /// its lost tasks are re-admitted there with the checkpointed steps
+    /// credited. Off by default — and without a fault plan it changes
+    /// reported progress only through the snapshot bookkeeping, never the
+    /// training timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn checkpoint(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "checkpoint interval must be positive");
+        self.checkpoint = Some(interval);
+        self
+    }
 }
 
 /// One job's submission-time state inside a cluster.
 struct JobSlot {
     pipeline: PipelineConfig,
     cfg: FreeRideConfig,
+    faults: FaultPlan,
+    checkpoint: Option<SimDuration>,
     accepted: Vec<AcceptedSubmission>,
     /// Submissions routed to this job (pinned or job-level).
     admitted: usize,
     /// Per-worker pinned-submission counts (feeds [`WorkerView::assigned`]).
     pinned_counts: Vec<usize>,
+    /// Per-worker pinned memory (feeds [`WorkerView::free_memory`]).
+    pinned_mem: Vec<MemBytes>,
 }
 
 /// Fluent configuration for a [`Cluster`].
@@ -457,12 +560,16 @@ impl ClusterBuilder {
                 .into_iter()
                 .map(|j| {
                     let stages = j.pipeline.stages;
+                    j.faults.validate(stages);
                     JobSlot {
                         pipeline: j.pipeline,
                         cfg: j.cfg,
+                        faults: j.faults,
+                        checkpoint: j.checkpoint,
                         accepted: Vec::new(),
                         admitted: 0,
                         pinned_counts: vec![0; stages],
+                        pinned_mem: vec![MemBytes::ZERO; stages],
                     }
                 })
                 .collect(),
@@ -482,12 +589,19 @@ impl ClusterBuilder {
 pub struct ClusterTaskHandle {
     job: usize,
     handle: TaskHandle,
+    priority: Option<String>,
 }
 
 impl ClusterTaskHandle {
     /// The job this submission was routed to.
     pub fn job(&self) -> usize {
         self.job
+    }
+
+    /// The priority tag attached at submission
+    /// ([`SubmitOptions::priority`]), if any.
+    pub fn priority(&self) -> Option<&str> {
+        self.priority.as_deref()
     }
 
     /// The underlying per-task handle.
@@ -626,12 +740,17 @@ impl Cluster {
                     job: j,
                     admitted: slot.admitted,
                     workers: (0..slot.pipeline.stages)
-                        .map(|w| WorkerView {
-                            worker: w,
-                            free_mem: slot.pipeline.stage_free_memory(w),
-                            assigned: slot.pinned_counts[w],
-                            compute_speed: slot.pipeline.compute_speed(w),
-                            device_memory: slot.pipeline.device_memory(w),
+                        .map(|w| {
+                            let free_mem = slot.pipeline.stage_free_memory(w);
+                            WorkerView {
+                                worker: w,
+                                free_mem,
+                                free_memory: free_mem.saturating_sub(slot.pinned_mem[w]),
+                                assigned: slot.pinned_counts[w],
+                                compute_speed: slot.pipeline.compute_speed(w),
+                                device_memory: slot.pipeline.device_memory(w),
+                                breaker: self.policy.breaker_state(j, w),
+                            }
                         })
                         .collect(),
                 })
@@ -644,8 +763,11 @@ impl Cluster {
     /// comes back typed, with the numbers that caused it, and is kept
     /// whole in [`ClusterReport::rejected`]); placement within the job
     /// happens in-run at the submission's arrival time.
+    ///
+    /// Prefer [`Cluster::submit_with`] — this is the thin historical
+    /// wrapper for `submit_with(submission, SubmitOptions::new())`.
     pub fn submit(&mut self, submission: Submission) -> Result<ClusterTaskHandle, SubmitError> {
-        self.route(None, submission)
+        self.submit_with(submission, SubmitOptions::new())
     }
 
     /// Submits a side task with **job affinity**: the policy first sees
@@ -653,6 +775,10 @@ impl Cluster {
     /// **spills over** to the rest of the cluster instead of being
     /// rejected — only a cluster-wide miss is an
     /// [`SubmitError::InsufficientMemory`].
+    ///
+    /// Prefer [`Cluster::submit_with`] — this is the thin historical
+    /// wrapper for `submit_with(submission,
+    /// SubmitOptions::new().affinity(job))`.
     ///
     /// # Panics
     ///
@@ -662,15 +788,58 @@ impl Cluster {
         job: usize,
         submission: Submission,
     ) -> Result<ClusterTaskHandle, SubmitError> {
-        assert!(job < self.jobs.len(), "job {job} out of range");
-        self.route(Some(job), submission)
+        self.submit_with(submission, SubmitOptions::new().affinity(job))
+    }
+
+    /// The unified submission front door: routes `submission` under
+    /// `opts` — job affinity (with cluster-wide spillover), a
+    /// [`crate::RetryPolicy`] for in-run admission, and a priority tag
+    /// carried into the returned handle.
+    ///
+    /// ```
+    /// use freeride_core::{Cluster, ClusterJob, RetryPolicy, Submission, SubmitOptions};
+    /// use freeride_pipeline::{ModelSpec, PipelineConfig};
+    /// use freeride_sim::SimDuration;
+    /// use freeride_tasks::WorkloadKind;
+    ///
+    /// let mut cluster = Cluster::builder()
+    ///     .job(ClusterJob::new(
+    ///         PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2),
+    ///     ))
+    ///     .cost_report(false)
+    ///     .build();
+    /// let handle = cluster
+    ///     .submit_with(
+    ///         Submission::new(WorkloadKind::PageRank),
+    ///         SubmitOptions::new()
+    ///             .affinity(0)
+    ///             .retry(RetryPolicy::new(3, SimDuration::from_millis(500)))
+    ///             .priority("batch"),
+    ///     )
+    ///     .expect("fits");
+    /// assert_eq!(handle.priority(), Some("batch"));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.affinity` is out of range.
+    pub fn submit_with(
+        &mut self,
+        submission: Submission,
+        opts: SubmitOptions,
+    ) -> Result<ClusterTaskHandle, SubmitError> {
+        if let Some(job) = opts.affinity {
+            assert!(job < self.jobs.len(), "job {job} out of range");
+        }
+        self.route(submission, opts)
     }
 
     fn route(
         &mut self,
-        preferred: Option<usize>,
         submission: Submission,
+        opts: SubmitOptions,
     ) -> Result<ClusterTaskHandle, SubmitError> {
+        let preferred = opts.affinity;
         let id = TaskId(self.next_id);
         self.next_id += 1;
         let admitted = submission.profile().and_then(|profile| {
@@ -702,13 +871,19 @@ impl Cluster {
                     submission,
                     profile,
                     pinned,
+                    retry: opts.retry,
                     outcome,
                 });
                 slot.admitted += 1;
                 if let Some(w) = pinned {
                     slot.pinned_counts[w] += 1;
+                    slot.pinned_mem[w] += profile.gpu_mem;
                 }
-                Ok(ClusterTaskHandle { job, handle })
+                Ok(ClusterTaskHandle {
+                    job,
+                    handle,
+                    priority: opts.priority,
+                })
             }
             Err(error) => {
                 self.rejected.push(RejectedSubmission { submission, error });
@@ -780,9 +955,11 @@ impl Cluster {
                     pipeline: &s.pipeline,
                     cfg: &s.cfg,
                     accepted: &s.accepted,
+                    faults: &s.faults,
+                    checkpoint: s.checkpoint,
                 })
                 .collect();
-            execute_cluster(&specs, bus_seed)
+            execute_cluster(&specs, bus_seed, Arc::clone(&self.policy))
         };
         let events_processed: u64 = outputs.iter().map(|o| o.events_processed).sum();
         let jobs: Vec<DeploymentReport> = self

@@ -33,6 +33,7 @@
 
 use crate::cluster::{Cluster, ClusterJob, MinTasksJob};
 use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
+use crate::fault::{FaultPlan, RetryPolicy, SubmitOptions};
 use crate::manager::SubmitError;
 use crate::metrics::{evaluate, BubbleBreakdown, CostReport, TaskWork};
 use crate::orchestrator::{ColocationRun, ExecutionOutput, TaskSummary};
@@ -355,6 +356,8 @@ pub(crate) struct AcceptedSubmission {
     /// Worker pinned by a cluster-level placement policy; `None` defers
     /// worker selection to the job manager's Algorithm 1 at arrival time.
     pub(crate) pinned: Option<usize>,
+    /// Retry middleware for in-run admission ([`crate::SubmitOptions`]).
+    pub(crate) retry: Option<RetryPolicy>,
     pub(crate) outcome: Arc<OnceLock<TaskSummary>>,
 }
 
@@ -363,6 +366,8 @@ pub(crate) struct AcceptedSubmission {
 pub struct DeploymentBuilder {
     pipeline: PipelineConfig,
     cfg: FreeRideConfig,
+    faults: FaultPlan,
+    checkpoint: Option<SimDuration>,
     cost_report: bool,
 }
 
@@ -371,6 +376,8 @@ impl DeploymentBuilder {
         DeploymentBuilder {
             pipeline,
             cfg: FreeRideConfig::iterative(),
+            faults: FaultPlan::new(),
+            checkpoint: None,
             cost_report: true,
         }
     }
@@ -442,11 +449,36 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Attaches a deterministic [`FaultPlan`] (see
+    /// [`crate::ClusterJob::faults`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables side-task checkpoint/restart every `interval` (see
+    /// [`crate::ClusterJob::checkpoint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn checkpoint(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "checkpoint interval must be positive");
+        self.checkpoint = Some(interval);
+        self
+    }
+
     /// Finishes configuration.
     pub fn build(self) -> Deployment {
+        let mut job = ClusterJob::new(self.pipeline)
+            .config(self.cfg)
+            .faults(self.faults);
+        if let Some(interval) = self.checkpoint {
+            job = job.checkpoint(interval);
+        }
         Deployment {
             cluster: Cluster::builder()
-                .job(ClusterJob::new(self.pipeline).config(self.cfg))
+                .job(job)
                 .policy(MinTasksJob)
                 .cost_report(self.cost_report)
                 .build(),
@@ -500,8 +532,24 @@ impl Deployment {
     /// time. Rejected submissions are also kept (whole) in the final
     /// report.
     pub fn submit(&mut self, submission: Submission) -> Result<TaskHandle, SubmitError> {
+        self.submit_with(submission, SubmitOptions::new())
+    }
+
+    /// Submits a side task with explicit [`SubmitOptions`] (retry policy,
+    /// priority tag; affinity is meaningless on a one-job deployment and
+    /// ignored) — the same unified front door as
+    /// [`crate::Cluster::submit_with`].
+    pub fn submit_with(
+        &mut self,
+        submission: Submission,
+        opts: SubmitOptions,
+    ) -> Result<TaskHandle, SubmitError> {
+        let opts = SubmitOptions {
+            affinity: None,
+            ..opts
+        };
         self.cluster
-            .submit(submission)
+            .submit_with(submission, opts)
             .map(|handle| handle.into_task_handle())
     }
 
@@ -587,6 +635,7 @@ pub(crate) fn assemble_report(
         trace: outcome.trace,
         bubbles_reported: outcome.bubbles_reported,
         events_processed: outcome.events_processed,
+        recoveries: outcome.recoveries,
         baseline_time,
         cost,
     }
@@ -617,6 +666,11 @@ pub struct DeploymentReport {
     /// wall-clock to get the events/sec throughput tracked in
     /// `BENCH.json`.
     pub events_processed: u64,
+    /// Recovery latencies under the chaos layer: for each task that hit a
+    /// retryable fault, `(task, time from first failure to the admission
+    /// that stuck — or from worker crash to checkpoint-restore)`. Empty
+    /// without fault injection.
+    pub recoveries: Vec<(TaskId, SimDuration)>,
     /// `T_noSideTask` under the same pipeline and schedule, when the cost
     /// report was enabled.
     pub baseline_time: Option<SimDuration>,

@@ -27,6 +27,12 @@
 //!   cross-job spillover on memory pressure, and a [`ClusterReport`]
 //!   aggregating per-job reports plus fleet-level metrics
 //!   ([`Deployment`] is a thin wrapper over a one-job cluster);
+//! * the **chaos layer**: a deterministic [`FaultPlan`] per job (worker
+//!   crashes, stragglers, transient OOM windows, RPC latency spikes)
+//!   plus three composable resilience mechanisms — retry-with-backoff
+//!   ([`RetryPolicy`]), side-task checkpoint/restart
+//!   ([`ClusterJob::checkpoint`]), and a per-worker [`CircuitBreaker`]
+//!   wrapping any placement policy;
 //! * the **orchestrator** wiring the instrumented pipeline trainers,
 //!   managers, and workers together over one latency-modelled RPC bus
 //!   with a job-qualified endpoint namespace (driven by
@@ -61,6 +67,7 @@
 mod cluster;
 mod config;
 mod deployment;
+mod fault;
 mod manager;
 mod metrics;
 mod orchestrator;
@@ -70,14 +77,15 @@ mod task;
 mod worker;
 
 pub use cluster::{
-    BestFitMemory, Cluster, ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle,
-    ClusterView, FastestFit, FirstFit, JobView, LeastLoaded, MinTasksJob, Placement,
-    PlacementPolicy, WorkerView,
+    BestFitMemory, BreakerState, Cluster, ClusterBuilder, ClusterJob, ClusterReport,
+    ClusterTaskHandle, ClusterView, FastestFit, FirstFit, JobView, LeastLoaded, MinTasksJob,
+    Placement, PlacementPolicy, WorkerView,
 };
 pub use config::{ColocationMode, FreeRideConfig, InterfaceKind};
 pub use deployment::{
     Deployment, DeploymentBuilder, DeploymentReport, RejectedSubmission, Submission, TaskHandle,
 };
+pub use fault::{CircuitBreaker, FaultEvent, FaultKind, FaultPlan, RetryPolicy, SubmitOptions};
 pub use manager::{ManagerCmd, SideTaskManager, SubmitError, WorkerMeta, WorkerPolicy};
 pub use metrics::{
     evaluate, time_increase, BreakdownFractions, BubbleBreakdown, CostReport, TaskWork,

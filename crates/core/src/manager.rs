@@ -61,7 +61,13 @@ pub enum ManagerCmd {
 ///
 /// Replaces the old information-free `Rejected` unit struct: every variant
 /// carries the numbers an operator needs to act on the rejection.
+///
+/// Marked `#[non_exhaustive]`: fault-injection growth keeps adding
+/// variants (most recently [`SubmitError::WorkerDown`] and
+/// [`SubmitError::CircuitOpen`]), so downstream matches must carry a `_`
+/// arm instead of breaking on every release.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum SubmitError {
     /// Algorithm 1, line 13: no worker's bubble GPU memory can hold the
     /// task's footprint (admission requires strictly more free memory
@@ -83,6 +89,20 @@ pub enum SubmitError {
         /// When the submission arrived.
         arrival: SimTime,
     },
+    /// The target worker's side-task daemon was down (crash fault window)
+    /// at the submission's arrival time. Retryable: the worker usually
+    /// restarts.
+    WorkerDown {
+        /// The unreachable worker.
+        worker: usize,
+    },
+    /// A circuit breaker guarding the target worker was open, shedding
+    /// load after consecutive failures. Retryable after the breaker's
+    /// cooldown.
+    CircuitOpen {
+        /// The worker whose breaker rejected the submission.
+        worker: usize,
+    },
 }
 
 impl core::fmt::Display for SubmitError {
@@ -103,6 +123,12 @@ impl core::fmt::Display for SubmitError {
                 f,
                 "submission arrived at {arrival}, after pipeline training finished"
             ),
+            SubmitError::WorkerDown { worker } => {
+                write!(f, "worker {worker} is down (side-task daemon crashed)")
+            }
+            SubmitError::CircuitOpen { worker } => {
+                write!(f, "circuit breaker open for worker {worker}")
+            }
         }
     }
 }
@@ -238,9 +264,28 @@ impl SideTaskManager {
         id: TaskId,
         mem: MemBytes,
     ) -> Result<(usize, ManagerCmd), SubmitError> {
+        let Some(worker) = self.select_worker(mem, &[]) else {
+            return Err(SubmitError::InsufficientMemory {
+                needed: mem,
+                best_worker_free: self.best_worker_free(),
+            });
+        };
+        Ok((worker, self.admit_to(id, mem, worker)))
+    }
+
+    /// The selection half of Algorithm 1: which worker *would* host a task
+    /// needing `mem`, without admitting it. Workers whose index is `true`
+    /// in `blocked` are skipped (the seam fault-aware callers use to mask
+    /// crashed workers or open circuit breakers); an empty slice blocks
+    /// nobody, which makes `select_worker` + [`SideTaskManager::admit_to`]
+    /// exactly [`SideTaskManager::submit`].
+    pub fn select_worker(&self, mem: MemBytes, blocked: &[bool]) -> Option<usize> {
         let mut selected: Option<usize> = None;
         let mut best_key = (usize::MAX, MemBytes::ZERO);
         for (i, w) in self.workers.iter().enumerate() {
+            if blocked.get(i).copied().unwrap_or(false) {
+                continue;
+            }
             if w.gpu_mem > mem {
                 match self.policy {
                     WorkerPolicy::MinTasks => {
@@ -263,19 +308,42 @@ impl SideTaskManager {
                 }
             }
         }
-        let Some(worker) = selected else {
-            return Err(SubmitError::InsufficientMemory {
-                needed: mem,
-                best_worker_free: self.best_worker_free(),
-            });
-        };
+        selected
+    }
+
+    /// The admission half of Algorithm 1: enqueues a task on `worker`
+    /// unconditionally and emits the `Create` command. Callers are
+    /// expected to have validated capacity (via
+    /// [`SideTaskManager::select_worker`] or an earlier admission check —
+    /// e.g. checkpoint/restart re-admits a task that already fit before
+    /// its worker crashed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn admit_to(&mut self, id: TaskId, mem: MemBytes, worker: usize) -> ManagerCmd {
         self.workers[worker].task_queue.push_back(TaskView {
             id,
             mem,
             state: SideTaskState::Submitted,
             awaiting_ack: true, // Create outstanding
         });
-        Ok((worker, ManagerCmd::Create { worker, task: id }))
+        ManagerCmd::Create { worker, task: id }
+    }
+
+    /// The worker's side-task daemon crashed: forget every task routed to
+    /// it (their processes died with the daemon) and drop the bubble it
+    /// was serving. Returns the forgotten task ids, current task first
+    /// then queue order — the orchestrator uses them to mark tasks lost
+    /// and (under checkpoint/restart) re-admit them on recovery. Bubbles
+    /// still in `incoming` are kept: they come from training
+    /// instrumentation, which the crash does not touch.
+    pub fn on_worker_crash(&mut self, worker: usize) -> Vec<TaskId> {
+        let w = &mut self.workers[worker];
+        let mut lost: Vec<TaskId> = w.current_task.take().map(|t| t.id).into_iter().collect();
+        lost.extend(w.task_queue.drain(..).map(|t| t.id));
+        w.current_bubble = None;
+        lost
     }
 
     /// Places a new task on a **specific** worker — the pinned form of
@@ -805,5 +873,41 @@ mod tests {
         m.submit(TaskId(1), gib(2)).unwrap();
         m.submit(TaskId(2), gib(3)).unwrap();
         assert_eq!(m.admitted_mem(0), gib(5));
+    }
+
+    #[test]
+    fn select_worker_skips_blocked_workers() {
+        let m = manager(); // workers: [2, 10, 18, 26] GiB, MinTasks
+        assert_eq!(m.select_worker(gib(3), &[]), Some(1));
+        // Blocking the natural pick falls through to the next candidate.
+        assert_eq!(m.select_worker(gib(3), &[false, true]), Some(2));
+        // Blocking every fitting worker yields no placement at all.
+        assert_eq!(m.select_worker(gib(3), &[true, true, true, true]), None);
+        // A short mask blocks nobody beyond its length.
+        assert_eq!(m.select_worker(gib(20), &[true, true]), Some(3));
+    }
+
+    #[test]
+    fn on_worker_crash_forgets_tasks_current_first() {
+        let mut m = manager().with_policy(WorkerPolicy::FirstFit);
+        // FirstFit piles all three 1 GiB tasks onto worker 0 (2 GiB).
+        for id in [7, 8, 9] {
+            let (w, _) = m.submit(TaskId(id), gib(1)).unwrap();
+            assert_eq!(w, 0);
+        }
+        // Promote task 7 to current: ack Create, adopt a bubble, poll.
+        m.on_task_state(0, TaskId(7), SideTaskState::Created);
+        m.add_bubble(0, bubble(0, 50));
+        let _ = m.poll(t(0));
+        assert_eq!(m.worker(0).current_task_id(), Some(TaskId(7)));
+        assert!(m.worker(0).current_bubble().is_some());
+
+        let lost = m.on_worker_crash(0);
+        assert_eq!(lost, vec![TaskId(7), TaskId(8), TaskId(9)]);
+        assert_eq!(m.worker(0).task_count(), 0);
+        assert!(m.worker(0).current_bubble().is_none());
+        // The worker stays selectable: a restart re-admits onto it.
+        let (w, _) = m.submit(TaskId(10), gib(1)).unwrap();
+        assert_eq!(w, 0);
     }
 }

@@ -29,14 +29,16 @@
 //! submission time). Submissions arriving after training finished are
 //! recorded as rejected with [`SubmitError::ArrivedAfterShutdown`].
 
+use crate::cluster::{Placement, PlacementPolicy};
 use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
 use crate::deployment::{AcceptedSubmission, Deployment, RejectedSubmission, Submission};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 use crate::manager::{ManagerCmd, SideTaskManager, SubmitError};
 use crate::metrics::{BubbleBreakdown, TaskWork};
 use crate::state::SideTaskState;
 use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
 use crate::worker::{Worker, WorkerEffect};
-use freeride_gpu::{GpuDevice, GpuId, ProcessId, SharingKind};
+use freeride_gpu::{GpuDevice, GpuId, MemBytes, ProcessId, SharingKind};
 use freeride_pipeline::{BubbleReport, EngineAction, PipelineConfig, PipelineEngine};
 use freeride_rpc::{job_scope, Directory, Endpoint, Envelope, LatencyModel, RpcBus};
 use freeride_sim::{
@@ -45,6 +47,11 @@ use freeride_sim::{
 use freeride_tasks::{SideTaskWorkload, WorkloadKind, WorkloadProfile, WorkloadTag};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Restored tasks get fresh ids in a reserved high range so they can never
+/// collide with submission-time ids (which count up from zero).
+const RESTORE_ID_BASE: u64 = 1 << 63;
 
 /// Outcome of one submitted task.
 #[derive(Debug, Clone, Serialize)]
@@ -145,6 +152,12 @@ enum Ev {
         task: TaskId,
         requested_at: SimTime,
     },
+    /// A scheduled fault fires (index into `JobRuntime::faults`).
+    Fault(usize),
+    /// A transient fault's window closes (index into `JobRuntime::faults`).
+    FaultEnd(usize),
+    /// Periodic side-task progress snapshot (checkpoint/restart).
+    Checkpoint,
 }
 
 /// A per-job event in the cluster-wide queue: the job index plus that
@@ -164,7 +177,26 @@ struct ArrivalSlot {
     /// Worker pinned by a cluster-level placement policy, if any; `None`
     /// defers to the job manager's Algorithm 1.
     pinned: Option<usize>,
+    /// Retry middleware: a rejected arrival re-enters admission after an
+    /// exponential backoff instead of being dropped.
+    retry: Option<RetryPolicy>,
+    /// Admission attempts already failed (drives the backoff exponent).
+    attempt: u32,
     workload: Box<dyn SideTaskWorkload>,
+}
+
+/// A side task that died with its worker's daemon, remembered for
+/// checkpoint/restart.
+#[derive(Clone, Copy)]
+struct LostTask {
+    /// The id the task ran under when it died.
+    orig: TaskId,
+    /// The worker it dies with (and is restored onto).
+    worker: usize,
+    /// Steps credited from the last checkpoint snapshot (progress since
+    /// is lost — that is the cost the chaos bench measures).
+    steps: u64,
+    crashed_at: SimTime,
 }
 
 /// One training job's complete simulation state: pipeline engine, manager,
@@ -207,6 +239,36 @@ struct JobRuntime {
     /// fires on every bubble, ack, and poll interval, so it must not
     /// allocate.
     cmd_buf: Vec<ManagerCmd>,
+
+    // --- chaos layer (all empty/`None` on the no-fault path) ---
+    /// This job's scheduled fault events, in plan order.
+    faults: Vec<FaultEvent>,
+    /// Per-worker daemon-down windows (crash faults): submissions
+    /// targeting the worker are rejected `WorkerDown` until this instant.
+    down_until: Vec<Option<SimTime>>,
+    /// Each worker's configured compute speed, restored when a straggler
+    /// window closes.
+    base_speeds: Vec<f64>,
+    /// Open transient-OOM window on the admission plane, if any.
+    oom_until: Option<SimTime>,
+    /// Checkpoint/restart snapshot interval, when the mechanism is on.
+    ckpt_interval: Option<SimDuration>,
+    /// Last checkpointed steps per task.
+    ckpt_steps: BTreeMap<TaskId, u64>,
+    /// Tasks lost to a crashed daemon, awaiting its restart.
+    lost: Vec<LostTask>,
+    /// Restore chain: a lost task's id → the id it was re-admitted under.
+    restored: BTreeMap<TaskId, TaskId>,
+    /// Submission sources for rebuildable tasks (checkpoint mode only):
+    /// id → (submission, profile, root id for the workload seed).
+    restore_subs: BTreeMap<TaskId, (Submission, WorkloadProfile, TaskId)>,
+    /// Allocator for `RESTORE_ID_BASE`-range restore ids.
+    next_restore_id: u64,
+    /// Recovery latencies: (task, first failure/crash → re-admission).
+    recoveries: Vec<(TaskId, SimDuration)>,
+    /// First retryable rejection per retried arrival (recovery latency
+    /// numerator for the retry mechanism).
+    first_failure: BTreeMap<TaskId, SimTime>,
 }
 
 impl JobRuntime {
@@ -246,6 +308,29 @@ impl JobRuntime {
         if let Some(t) = self.devices[g].next_completion_time() {
             let ev = self.ev(Ev::DeviceTick(g));
             self.tick_ids[g] = Some(s.schedule_at(t, ev));
+        }
+    }
+
+    /// Dispatches every completion device `g` owes at or before `now`:
+    /// pipeline ops to the engine, side-task steps to their worker. The
+    /// body of `Ev::DeviceTick`, also used to settle a device before a
+    /// fault rewrites its state. Callers resync the tick afterwards.
+    fn drain_device(
+        &mut self,
+        now: SimTime,
+        g: usize,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        let completions = self.devices[g].advance_through(now);
+        for c in completions {
+            if self.engine.stage_of_pid(c.process).is_some() {
+                let actions = self.engine.on_op_complete(now, g);
+                self.apply_engine_actions(now, actions, bus, s);
+            } else if let Some(&(wi, task)) = self.pid_index.get(&c.process) {
+                let fx = self.workers[wi].on_step_complete(now, task, &mut self.devices[wi]);
+                self.apply_worker_effects(now, wi, fx, bus, s);
+            }
         }
     }
 
@@ -374,11 +459,72 @@ impl JobRuntime {
         self.cmd_buf = cmds;
     }
 
+    /// Whether `worker`'s side-task daemon is inside a crash window.
+    fn worker_down(&self, now: SimTime, worker: usize) -> bool {
+        self.down_until[worker].is_some_and(|t| now < t)
+    }
+
+    /// The admission half of an online arrival, with the chaos overlays
+    /// layered on Algorithm 1: a transient-OOM window rejects outright,
+    /// downed workers reject `WorkerDown`, circuit-broken workers reject
+    /// `CircuitOpen`, and unpinned submissions route around both. With no
+    /// fault in force this is byte-for-byte the pre-chaos admission path.
+    fn admit_arrival(
+        &mut self,
+        now: SimTime,
+        slot: &ArrivalSlot,
+        policy: &dyn PlacementPolicy,
+    ) -> Result<(usize, ManagerCmd), SubmitError> {
+        let mem = slot.profile.gpu_mem;
+        if self.oom_until.is_some_and(|t| now < t) {
+            // The allocator is transiently exhausted cluster-side: no
+            // worker can host anything until the window closes.
+            return Err(SubmitError::InsufficientMemory {
+                needed: mem,
+                best_worker_free: MemBytes::ZERO,
+            });
+        }
+        if let Some(w) = slot.pinned {
+            if self.worker_down(now, w) {
+                return Err(SubmitError::WorkerDown { worker: w });
+            }
+            if policy.blocks(now, self.job, w) {
+                return Err(SubmitError::CircuitOpen { worker: w });
+            }
+            return self.manager.submit_to(slot.id, mem, w);
+        }
+        let blocked: Vec<bool> = (0..self.workers.len())
+            .map(|w| self.worker_down(now, w) || policy.blocks(now, self.job, w))
+            .collect();
+        if !blocked.iter().any(|&b| b) {
+            return self.manager.submit(slot.id, mem);
+        }
+        if let Some(w) = self.manager.select_worker(mem, &blocked) {
+            return Ok((w, self.manager.admit_to(slot.id, mem, w)));
+        }
+        // Nothing placeable. If a blocked worker would have fit, name the
+        // fault that blocked it; otherwise it is a plain capacity miss.
+        for (w, &b) in blocked.iter().enumerate() {
+            if b && self.manager.worker(w).gpu_mem > mem {
+                return Err(if self.worker_down(now, w) {
+                    SubmitError::WorkerDown { worker: w }
+                } else {
+                    SubmitError::CircuitOpen { worker: w }
+                });
+            }
+        }
+        Err(SubmitError::InsufficientMemory {
+            needed: mem,
+            best_worker_free: self.manager.best_worker_free(),
+        })
+    }
+
     fn handle_arrival(
         &mut self,
         now: SimTime,
         idx: usize,
         bus: &mut RpcBus,
+        policy: &dyn PlacementPolicy,
         s: &mut Scheduler<'_, ClusterEv>,
     ) {
         let Some(slot) = self.arrivals[idx].take() else {
@@ -389,12 +535,21 @@ impl JobRuntime {
                 .push((slot.id, SubmitError::ArrivedAfterShutdown { arrival: now }));
             return;
         }
-        let placed = match slot.pinned {
-            Some(w) => self.manager.submit_to(slot.id, slot.profile.gpu_mem, w),
-            None => self.manager.submit(slot.id, slot.profile.gpu_mem),
-        };
-        match placed {
+        match self.admit_arrival(now, &slot, policy) {
             Ok((w, cmd)) => {
+                // A retried arrival landing at last closes its recovery
+                // window (first rejection → successful admission).
+                if let Some(first) = self.first_failure.remove(&slot.id) {
+                    self.recoveries.push((slot.id, now.saturating_since(first)));
+                }
+                policy.on_outcome(
+                    now,
+                    Placement::Worker {
+                        job: self.job,
+                        worker: w,
+                    },
+                    true,
+                );
                 let task = SideTask::new(
                     slot.id,
                     slot.tag.clone(),
@@ -409,8 +564,224 @@ impl JobRuntime {
                 let to = self.ep_workers[w];
                 self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
             }
-            Err(e) => self.late_rejected.push((slot.id, e)),
+            Err(e) => {
+                let failed_worker = match &e {
+                    SubmitError::WorkerDown { worker } | SubmitError::CircuitOpen { worker } => {
+                        Some(*worker)
+                    }
+                    _ => slot.pinned,
+                };
+                if let Some(w) = failed_worker {
+                    policy.on_outcome(
+                        now,
+                        Placement::Worker {
+                            job: self.job,
+                            worker: w,
+                        },
+                        false,
+                    );
+                }
+                match slot.retry {
+                    Some(rp) if slot.attempt < rp.max_attempts && rp.retryable(&e) => {
+                        self.first_failure.entry(slot.id).or_insert(now);
+                        let backoff = rp.backoff(slot.attempt);
+                        let mut slot = slot;
+                        slot.attempt += 1;
+                        self.arrivals[idx] = Some(slot);
+                        let ev = self.ev(Ev::Arrival(idx));
+                        s.schedule_after(backoff, ev);
+                    }
+                    _ => self.late_rejected.push((slot.id, e)),
+                }
+            }
         }
+    }
+
+    /// A scheduled fault fires.
+    fn handle_fault(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        bus: &mut RpcBus,
+        policy: &dyn PlacementPolicy,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        match self.faults[idx].kind {
+            FaultKind::WorkerCrash { worker, down_for } => {
+                // Settle the device up to the crash instant, then take
+                // every live side task down with the daemon. Training is
+                // untouched: the crash models the side-task daemon dying,
+                // not the GPU or the pipeline rank.
+                self.drain_device(now, worker, bus, s);
+                let killed = self.workers[worker].crash(now, &mut self.devices[worker]);
+                let forgotten = self.manager.on_worker_crash(worker);
+                // Tasks placed on the worker whose Create RPC had not
+                // landed yet die in flight too.
+                let mut gone = killed;
+                for id in forgotten {
+                    if self.pending_create.remove(&id).is_some() && !gone.contains(&id) {
+                        gone.push(id);
+                    }
+                }
+                if self.ckpt_interval.is_some() {
+                    for &id in &gone {
+                        self.lost.push(LostTask {
+                            orig: id,
+                            worker,
+                            steps: self.ckpt_steps.get(&id).copied().unwrap_or(0),
+                            crashed_at: now,
+                        });
+                    }
+                }
+                self.down_until[worker] = Some(now + down_for);
+                policy.on_outcome(
+                    now,
+                    Placement::Worker {
+                        job: self.job,
+                        worker,
+                    },
+                    false,
+                );
+                self.resync_device(worker, s);
+                self.record_device(now, worker);
+            }
+            FaultKind::Straggler {
+                worker,
+                factor,
+                duration: _,
+            } => {
+                self.drain_device(now, worker, bus, s);
+                let slow = self.base_speeds[worker] * factor;
+                self.devices[worker].set_compute_speed(now, slow);
+                self.resync_device(worker, s);
+                self.record_device(now, worker);
+            }
+            FaultKind::OomWindow { duration } => {
+                let end = now + duration;
+                self.oom_until = Some(self.oom_until.map_or(end, |t| t.max(end)));
+            }
+            FaultKind::RpcSpike {
+                worker,
+                latency,
+                duration: _,
+            } => {
+                let spike = LatencyModel::fixed(latency);
+                bus.set_link_latency(self.ep_manager, self.ep_workers[worker], spike.clone());
+                bus.set_link_latency(self.ep_workers[worker], self.ep_manager, spike);
+            }
+        }
+    }
+
+    /// A transient fault's window closes: restore the degraded resource
+    /// and, under checkpoint/restart, re-admit the tasks a crashed daemon
+    /// took down.
+    fn handle_fault_end(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        match self.faults[idx].kind {
+            FaultKind::Straggler { worker, .. } => {
+                self.drain_device(now, worker, bus, s);
+                let base = self.base_speeds[worker];
+                self.devices[worker].set_compute_speed(now, base);
+                self.resync_device(worker, s);
+                self.record_device(now, worker);
+            }
+            FaultKind::RpcSpike { worker, .. } => {
+                // Back to this job's own RPC physics. Overriding with the
+                // model the link already carries does not perturb the
+                // jitter stream, so an un-spiked link is indistinguishable
+                // from one that never spiked.
+                let model = LatencyModel {
+                    base: self.cfg.rpc_latency,
+                    jitter_sigma: self.cfg.rpc_jitter,
+                };
+                bus.set_link_latency(self.ep_manager, self.ep_workers[worker], model.clone());
+                bus.set_link_latency(self.ep_workers[worker], self.ep_manager, model);
+            }
+            FaultKind::WorkerCrash { worker, .. } => {
+                self.down_until[worker] = None;
+                if self.ckpt_interval.is_some() && !self.stops_issued && !self.training_done {
+                    self.restore_lost_tasks(now, worker, bus, s);
+                }
+            }
+            FaultKind::OomWindow { .. } => {
+                // Time-bounded by `oom_until`; nothing to restore.
+            }
+        }
+    }
+
+    /// Checkpoint/restart's restore half: the daemon on `worker` is back,
+    /// so re-admit every task it lost, resuming from the last snapshot.
+    fn restore_lost_tasks(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        let mut to_restore = Vec::new();
+        self.lost.retain(|l| {
+            if l.worker == worker {
+                to_restore.push(*l);
+                false
+            } else {
+                true
+            }
+        });
+        for l in to_restore {
+            let Some((sub, profile, root)) = self.restore_subs.get(&l.orig).cloned() else {
+                continue; // not rebuildable (no submission source)
+            };
+            let new_id = TaskId(RESTORE_ID_BASE | self.next_restore_id);
+            self.next_restore_id += 1;
+            // It fit on this worker before the crash, so re-admit it
+            // there unconditionally; restarts replay the same placement.
+            let cmd = self.manager.admit_to(new_id, profile.gpu_mem, worker);
+            let mut task = SideTask::new(
+                new_id,
+                sub.tag().clone(),
+                profile,
+                self.interface,
+                sub.build_workload(self.cfg.seed ^ root.0),
+                now,
+            )
+            .with_misbehavior(sub.misbehavior());
+            task.steps = l.steps;
+            self.pending_create.insert(new_id, task);
+            self.placements
+                .push((new_id, worker, sub.tag().clone(), profile));
+            self.restored.insert(l.orig, new_id);
+            self.restore_subs.insert(new_id, (sub, profile, root));
+            self.ckpt_steps.insert(new_id, l.steps);
+            self.recoveries
+                .push((l.orig, now.saturating_since(l.crashed_at)));
+            let to = self.ep_workers[worker];
+            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
+        }
+    }
+
+    /// Periodic checkpoint snapshot: record every live task's step count
+    /// so a later crash restores from here rather than from zero.
+    fn handle_checkpoint(&mut self, s: &mut Scheduler<'_, ClusterEv>) {
+        let Some(interval) = self.ckpt_interval else {
+            return;
+        };
+        if self.finished() {
+            return; // run is draining — stop rescheduling
+        }
+        for w in &self.workers {
+            for t in w.tasks() {
+                if !t.is_stopped() {
+                    self.ckpt_steps.insert(t.id, t.steps);
+                }
+            }
+        }
+        let ev = self.ev(Ev::Checkpoint);
+        s.schedule_after(interval, ev);
     }
 
     fn apply_worker_effects(
@@ -494,6 +865,15 @@ impl JobRuntime {
         s: &mut Scheduler<'_, ClusterEv>,
     ) {
         let wi = cmd_worker(&cmd);
+        // A command racing a daemon crash: the task died with its worker's
+        // daemon, so the in-flight RPC is void. (Never fires on fault-free
+        // runs — `WorkerLost` is only ever set by a crash fault.)
+        if self.workers[wi]
+            .task(cmd_task(&cmd))
+            .is_some_and(|t| t.stop_reason == StopReason::WorkerLost)
+        {
+            return;
+        }
         let effects = match cmd {
             ManagerCmd::Create { task, .. } => {
                 let Some(obj) = self.pending_create.remove(&task) else {
@@ -530,6 +910,7 @@ impl JobRuntime {
         now: SimTime,
         event: Ev,
         bus: &mut RpcBus,
+        policy: &dyn PlacementPolicy,
         s: &mut Scheduler<'_, ClusterEv>,
     ) {
         match event {
@@ -545,17 +926,7 @@ impl JobRuntime {
             }
             Ev::DeviceTick(g) => {
                 self.tick_ids[g] = None;
-                let completions = self.devices[g].advance_through(now);
-                for c in completions {
-                    if self.engine.stage_of_pid(c.process).is_some() {
-                        let actions = self.engine.on_op_complete(now, g);
-                        self.apply_engine_actions(now, actions, bus, s);
-                    } else if let Some(&(wi, task)) = self.pid_index.get(&c.process) {
-                        let fx =
-                            self.workers[wi].on_step_complete(now, task, &mut self.devices[wi]);
-                        self.apply_worker_effects(now, wi, fx, bus, s);
-                    }
-                }
+                self.drain_device(now, g, bus, s);
                 self.resync_device(g, s);
                 self.record_device(now, g);
             }
@@ -569,7 +940,10 @@ impl JobRuntime {
             Ev::ManagerPollOnce => {
                 self.run_manager_poll(now, bus, s);
             }
-            Ev::Arrival(idx) => self.handle_arrival(now, idx, bus, s),
+            Ev::Arrival(idx) => self.handle_arrival(now, idx, bus, policy, s),
+            Ev::Fault(idx) => self.handle_fault(now, idx, bus, policy, s),
+            Ev::FaultEnd(idx) => self.handle_fault_end(now, idx, bus, s),
+            Ev::Checkpoint => self.handle_checkpoint(s),
             Ev::Deliver(env) => match env.msg {
                 Msg::Bubble(r) => {
                     self.bubbles_reported += 1;
@@ -637,11 +1011,24 @@ fn cmd_worker(cmd: &ManagerCmd) -> usize {
     }
 }
 
+fn cmd_task(cmd: &ManagerCmd) -> TaskId {
+    match cmd {
+        ManagerCmd::Create { task, .. }
+        | ManagerCmd::Init { task, .. }
+        | ManagerCmd::Start { task, .. }
+        | ManagerCmd::Pause { task, .. }
+        | ManagerCmd::Stop { task, .. } => *task,
+    }
+}
+
 /// The cluster-wide simulation world: N job runtimes sharing one event
 /// queue and one RPC bus.
 struct ClusterWorld {
     jobs: Vec<JobRuntime>,
     bus: RpcBus,
+    /// The cluster's placement policy, consulted by resilience middleware
+    /// (circuit breakers observe failures and mask workers mid-run).
+    policy: Arc<dyn PlacementPolicy>,
 }
 
 impl World for ClusterWorld {
@@ -650,7 +1037,7 @@ impl World for ClusterWorld {
     fn handle(&mut self, now: SimTime, event: ClusterEv, s: &mut Scheduler<'_, ClusterEv>) {
         let job = &mut self.jobs[event.job];
         job.events_processed += 1;
-        job.handle_ev(now, event.ev, &mut self.bus, s);
+        job.handle_ev(now, event.ev, &mut self.bus, self.policy.as_ref(), s);
     }
 }
 
@@ -665,14 +1052,17 @@ pub(crate) struct ExecutionOutput {
     pub(crate) bubbles_reported: u64,
     pub(crate) late_rejected: Vec<(TaskId, SubmitError)>,
     pub(crate) events_processed: u64,
+    pub(crate) recoveries: Vec<(TaskId, SimDuration)>,
 }
 
-/// One job of a cluster execution: its pipeline, middleware config, and
-/// the submissions already admitted to it.
+/// One job of a cluster execution: its pipeline, middleware config, the
+/// submissions already admitted to it, and its chaos schedule.
 pub(crate) struct JobExecSpec<'a> {
     pub(crate) pipeline: &'a PipelineConfig,
     pub(crate) cfg: &'a FreeRideConfig,
     pub(crate) accepted: &'a [AcceptedSubmission],
+    pub(crate) faults: &'a FaultPlan,
+    pub(crate) checkpoint: Option<SimDuration>,
 }
 
 /// Runs N pipeline-training jobs co-located with their accepted
@@ -680,8 +1070,16 @@ pub(crate) struct JobExecSpec<'a> {
 ///
 /// `bus_seed` seeds the shared RPC bus's jitter stream. The cluster
 /// defaults it to job 0's seed, which makes a one-job execution's stream
-/// identical to the pre-cluster orchestrator's.
-pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<ExecutionOutput> {
+/// identical to the pre-cluster orchestrator's. `policy` is consulted
+/// during online admission so resilience middleware (circuit breakers)
+/// can observe failures and mask workers mid-run; the hooks it uses are
+/// no-op defaults on plain policies, so they never perturb the event
+/// stream.
+pub(crate) fn execute_cluster(
+    jobs: &[JobExecSpec<'_>],
+    bus_seed: u64,
+    policy: Arc<dyn PlacementPolicy>,
+) -> Vec<ExecutionOutput> {
     assert!(!jobs.is_empty(), "cluster needs at least one job");
 
     // One job-qualified directory and one bus span every job. The global
@@ -814,10 +1212,25 @@ pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<Ex
                     profile: acc.profile,
                     misbehavior: sub.misbehavior(),
                     pinned: acc.pinned,
+                    retry: acc.retry,
+                    attempt: 0,
                     workload: sub.build_workload(fr_cfg.seed ^ id.0),
                 }));
             }
         }
+
+        // Under checkpoint/restart, keep every submission's source so a
+        // task lost to a daemon crash can be rebuilt (same workload seed,
+        // resumed step count).
+        let restore_subs: BTreeMap<TaskId, (Submission, WorkloadProfile, TaskId)> =
+            if spec.checkpoint.is_some() {
+                spec.accepted
+                    .iter()
+                    .map(|acc| (acc.id, (acc.submission.clone(), acc.profile, acc.id)))
+                    .collect()
+            } else {
+                BTreeMap::new()
+            };
 
         let mut world_devices = devices;
         engine.init(&mut world_devices);
@@ -838,6 +1251,18 @@ pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<Ex
                 .map(|i| Worker::new(i, fr_cfg.clone()))
                 .collect(),
             tick_ids: vec![None; pipeline_cfg.stages],
+            faults: spec.faults.events().to_vec(),
+            down_until: vec![None; pipeline_cfg.stages],
+            base_speeds: world_devices.iter().map(|d| d.compute_speed()).collect(),
+            oom_until: None,
+            ckpt_interval: spec.checkpoint,
+            ckpt_steps: BTreeMap::new(),
+            lost: Vec::new(),
+            restored: BTreeMap::new(),
+            restore_subs,
+            next_restore_id: 0,
+            recoveries: Vec::new(),
+            first_failure: BTreeMap::new(),
             devices: world_devices,
             engine,
             manager,
@@ -868,6 +1293,7 @@ pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<Ex
     let world = ClusterWorld {
         jobs: runtimes,
         bus,
+        policy,
     };
     let mut sim = Simulation::new(world);
 
@@ -938,6 +1364,44 @@ pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<Ex
         });
     }
 
+    // Seed the chaos schedule LAST, after every job's normal seeding: the
+    // extra seeds append to the event-id sequence, so a job with an empty
+    // fault plan and no checkpointing replays the exact fault-free event
+    // stream byte for byte.
+    for (j, spec) in jobs.iter().enumerate() {
+        for (i, f) in spec.faults.events().iter().enumerate() {
+            sim.seed_at(
+                f.at,
+                ClusterEv {
+                    job: j,
+                    ev: Ev::Fault(i),
+                },
+            );
+            let window = match f.kind {
+                FaultKind::WorkerCrash { down_for, .. } => Some(down_for),
+                FaultKind::Straggler { duration, .. } => Some(duration),
+                FaultKind::RpcSpike { duration, .. } => Some(duration),
+                // Time-bounded via `oom_until`; no end event needed.
+                FaultKind::OomWindow { .. } => None,
+            };
+            if let Some(d) = window {
+                sim.seed_at(
+                    f.at + d,
+                    ClusterEv {
+                        job: j,
+                        ev: Ev::FaultEnd(i),
+                    },
+                );
+            }
+        }
+        if spec.checkpoint.is_some() {
+            sim.seed(ClusterEv {
+                job: j,
+                ev: Ev::Checkpoint,
+            });
+        }
+    }
+
     let outcome = sim.run_to_quiescence();
     assert_eq!(outcome, RunOutcome::Quiescent, "run must drain");
     let world = sim.into_world();
@@ -949,32 +1413,44 @@ pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<Ex
             assert!(job.engine.is_done(), "training must complete");
             assert!(job.finished(), "all tasks must stop");
 
-            // Gather results.
+            // Gather results. Restored incarnations fold into their
+            // original submission: one summary per submitted task, read
+            // from the tail of its restore chain, reported under the id
+            // the submitter knows.
+            let restore_ids: BTreeSet<TaskId> = job.restored.values().copied().collect();
             let mut tasks = Vec::new();
-            for (id, wi, tag, profile) in job.placements {
-                match job.workers[wi].task(id) {
+            for (id, wi, tag, profile) in &job.placements {
+                if restore_ids.contains(id) {
+                    continue; // summarised under its original id
+                }
+                let mut cur = *id;
+                while let Some(&next) = job.restored.get(&cur) {
+                    cur = next; // restores land on the same worker
+                }
+                match job.workers[*wi].task(cur) {
                     Some(t) => tasks.push(TaskSummary {
-                        id,
-                        kind: tag,
-                        worker: wi,
+                        id: *id,
+                        kind: tag.clone(),
+                        worker: *wi,
                         steps: t.steps,
                         final_state: t.state(),
                         stop_reason: t.stop_reason,
                         last_value: t.last_value,
-                        profile,
+                        profile: *profile,
                     }),
                     // Placed, but training ended before the Create RPC
-                    // landed (online arrival racing the shutdown): never
+                    // landed (online arrival racing the shutdown, or a
+                    // task lost to a crash and never restored): never
                     // materialised.
                     None => tasks.push(TaskSummary {
-                        id,
-                        kind: tag,
-                        worker: wi,
+                        id: *id,
+                        kind: tag.clone(),
+                        worker: *wi,
                         steps: 0,
                         final_state: SideTaskState::Submitted,
                         stop_reason: StopReason::NotStopped,
                         last_value: None,
-                        profile,
+                        profile: *profile,
                     }),
                 }
             }
@@ -998,6 +1474,7 @@ pub(crate) fn execute_cluster(jobs: &[JobExecSpec<'_>], bus_seed: u64) -> Vec<Ex
                 bubbles_reported: job.bubbles_reported,
                 late_rejected: job.late_rejected,
                 events_processed: job.events_processed,
+                recoveries: job.recoveries,
             }
         })
         .collect()

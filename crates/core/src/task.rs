@@ -53,6 +53,10 @@ pub enum StopReason {
     KilledOom,
     /// The task process crashed on its own.
     Crashed,
+    /// The whole worker daemon went down (injected crash fault); the task
+    /// died with it. Under checkpoint/restart the orchestrator re-admits
+    /// the task when the worker recovers.
+    WorkerLost,
 }
 
 /// A side task as owned by its worker.

@@ -520,6 +520,26 @@ impl Worker {
             state: SideTaskState::Stopped,
         }]
     }
+
+    /// The whole side-task daemon dies (injected worker-crash fault):
+    /// every live task is killed with [`StopReason::WorkerLost`] — process
+    /// killed, container torn down, GPU memory freed — and the ids of the
+    /// tasks lost are returned (ascending). No `Ack` effects are produced:
+    /// a dead daemon cannot RPC, so the orchestrator updates the manager's
+    /// book-keeping directly via `SideTaskManager::on_worker_crash`.
+    pub fn crash(&mut self, now: SimTime, device: &mut GpuDevice) -> Vec<TaskId> {
+        let live: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| !t.is_stopped())
+            .map(|(id, _)| *id)
+            .collect();
+        for &id in &live {
+            // Discard the Ack effect: nobody is listening on a dead daemon.
+            let _ = self.kill(now, id, StopReason::WorkerLost, device);
+        }
+        live
+    }
 }
 
 #[cfg(test)]

@@ -88,7 +88,12 @@ impl core::fmt::Display for LaunchError {
 impl std::error::Error for LaunchError {}
 
 /// Error allocating device memory.
+///
+/// Marked `#[non_exhaustive]`: future growth may attach more context
+/// (e.g. the fault window that induced the failure) without breaking
+/// downstream destructuring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct OomError {
     /// Whether the per-process cap or the physical device ran out.
     pub kind: OomKind,
@@ -193,6 +198,26 @@ impl GpuDevice {
     /// Relative compute speed of this device (reference = `1.0`).
     pub fn compute_speed(&self) -> f64 {
         self.compute_speed
+    }
+
+    /// Changes the relative compute speed at `now` — the runtime seam for
+    /// transient throttling (straggler fault injection, thermal events).
+    /// In-flight kernels keep the solo-time they have already retired and
+    /// drain the remainder at the new speed; future launches scale
+    /// entirely by it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `speed` is finite and positive, or if a completion
+    /// strictly before `now` has not been drained — call
+    /// [`GpuDevice::advance_through`] first.
+    pub fn set_compute_speed(&mut self, now: SimTime, speed: f64) {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "compute speed must be finite and positive, got {speed}"
+        );
+        self.advance_clock_no_completions(now);
+        self.compute_speed = speed;
     }
 
     /// Wall-clock time this device needs to retire `d` of reference
@@ -865,6 +890,39 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn non_positive_compute_speed_rejected() {
         let _ = device().with_compute_speed(0.0);
+    }
+
+    #[test]
+    fn set_compute_speed_rescales_in_flight_kernels() {
+        // A 100ms-reference kernel, throttled to quarter speed halfway
+        // through: 50ms retires at full speed, the remaining 50ms of
+        // reference work drains at 0.25x (200ms), finishing at 250ms.
+        let mut d = device();
+        let p = d.register_process("side", Priority::Low, None);
+        d.launch(
+            SimTime::ZERO,
+            KernelSpec::new(p, ms(100), 1.0, Priority::Low, "s"),
+        )
+        .unwrap();
+        assert_eq!(d.next_completion_time(), Some(at(100)));
+
+        d.set_compute_speed(at(50), 0.25);
+        assert_eq!(d.compute_speed(), 0.25);
+        assert_eq!(d.next_completion_time(), Some(at(250)));
+
+        // Restoring full speed at 150ms: 25ms of reference work retired
+        // during the slow window leaves 25ms, done at 175ms.
+        d.set_compute_speed(at(150), 1.0);
+        assert_eq!(d.next_completion_time(), Some(at(175)));
+        let done = d.advance_through(at(175));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finished_at, at(175));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn set_compute_speed_rejects_non_positive() {
+        device().set_compute_speed(SimTime::ZERO, -1.0);
     }
 
     #[test]

@@ -353,6 +353,90 @@ mod tests {
     }
 
     #[test]
+    fn extreme_spike_overrides_zero_and_huge() {
+        // Latency-spike fault injection drives overrides to the extremes:
+        // a zero-latency link delivers at the send instant, and a huge
+        // fixed spike neither overflows nor leaks into other links.
+        let mut bus = bus_fixed(100);
+        bus.set_link_latency(
+            Endpoint(0),
+            Endpoint(1),
+            LatencyModel::fixed(SimDuration::ZERO),
+        );
+        let (at, _) = bus.send(SimTime::from_millis(7), Endpoint(0), Endpoint(1), ());
+        assert_eq!(at, SimTime::from_millis(7), "zero latency is same-instant");
+
+        let huge = SimDuration::from_secs(3_600);
+        bus.set_link_latency(Endpoint(2), Endpoint(3), LatencyModel::fixed(huge));
+        let (at, _) = bus.send(SimTime::from_millis(7), Endpoint(2), Endpoint(3), ());
+        assert_eq!(at, SimTime::from_millis(7) + huge);
+        // Unrelated link still on the global model.
+        let (at, _) = bus.send(SimTime::from_millis(7), Endpoint(4), Endpoint(5), ());
+        assert_eq!(at, SimTime::from_millis(7) + SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn mid_run_spike_and_restore_rejoins_the_original_stream() {
+        // The chaos layer's RPC-spike shape: run on the global model,
+        // override a link with a fixed spike mid-stream, then restore the
+        // original model. Sends on the spiked link during the window pay
+        // exactly the spike; once restored the link samples jitter again
+        // and an untouched link's draws never shifted.
+        let model = LatencyModel {
+            base: SimDuration::from_micros(100),
+            jitter_sigma: 0.2,
+        };
+        let spike = SimDuration::from_millis(40);
+
+        let run = |spiked: bool| {
+            let mut bus = RpcBus::new(model.clone(), DetRng::seed_from_u64(31));
+            let mut spiked_link = Vec::new();
+            let mut other_link = Vec::new();
+            for phase in 0..3 {
+                if spiked {
+                    match phase {
+                        1 => bus.set_link_latency(
+                            Endpoint(0),
+                            Endpoint(1),
+                            LatencyModel::fixed(spike),
+                        ),
+                        2 => bus.set_link_latency(Endpoint(0), Endpoint(1), model.clone()),
+                        _ => {}
+                    }
+                }
+                for _ in 0..20 {
+                    spiked_link.push(bus.send(SimTime::ZERO, Endpoint(0), Endpoint(1), ()).0);
+                    other_link.push(bus.send(SimTime::ZERO, Endpoint(2), Endpoint(3), ()).0);
+                }
+            }
+            (spiked_link, other_link)
+        };
+
+        let (calm, calm_other) = run(false);
+        let (chaos, chaos_other) = run(true);
+        // During the window every delivery pays exactly the spike.
+        for at in &chaos[20..40] {
+            assert_eq!(*at, SimTime::ZERO + spike);
+        }
+        // Before the first override the interleaved streams agree draw
+        // for draw on both links.
+        assert_eq!(calm[..20], chaos[..20]);
+        assert_eq!(calm_other[..20], chaos_other[..20]);
+        // The untouched link keeps sampling its own physics throughout
+        // the window: every delivery stays inside the ±4σ clamp band
+        // around the 100µs base.
+        for at in &chaos_other {
+            let l = at.saturating_since(SimTime::ZERO);
+            assert!(l >= SimDuration::from_micros(20) && l <= SimDuration::from_micros(180));
+        }
+        // After restore the link is jittered again (not stuck fixed).
+        let tail: std::collections::BTreeSet<_> = chaos[40..].iter().collect();
+        assert!(tail.len() > 1, "restored link must sample jitter again");
+        // And the whole chaotic run replays itself exactly.
+        assert_eq!(run(true), (chaos, chaos_other));
+    }
+
+    #[test]
     fn zero_jitter_vs_jittered_statistics() {
         // Zero jitter: every delivery takes exactly the base latency, so
         // mean == max == base and total = n * base.

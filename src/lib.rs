@@ -66,12 +66,13 @@ pub use freeride_tasks as tasks;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use freeride_core::{
-        evaluate, run_baseline, run_colocation, time_increase, BestFitMemory, Cluster,
-        ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle, ClusterView, ColocationMode,
-        ColocationRun, CostReport, Deployment, DeploymentBuilder, DeploymentReport, FastestFit,
-        FirstFit, FreeRideConfig, InterfaceKind, JobView, LeastLoaded, MinTasksJob, Misbehavior,
-        Placement, PlacementPolicy, RejectedSubmission, SideTaskManager, SideTaskState, StopReason,
-        Submission, SubmitError, TaskHandle, TaskId, TaskSummary, Transition, WorkerPolicy,
+        evaluate, run_baseline, run_colocation, time_increase, BestFitMemory, BreakerState,
+        CircuitBreaker, Cluster, ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle,
+        ClusterView, ColocationMode, ColocationRun, CostReport, Deployment, DeploymentBuilder,
+        DeploymentReport, FastestFit, FaultEvent, FaultKind, FaultPlan, FirstFit, FreeRideConfig,
+        InterfaceKind, JobView, LeastLoaded, MinTasksJob, Misbehavior, Placement, PlacementPolicy,
+        RejectedSubmission, RetryPolicy, SideTaskManager, SideTaskState, StopReason, Submission,
+        SubmitError, SubmitOptions, TaskHandle, TaskId, TaskSummary, Transition, WorkerPolicy,
         WorkerView,
     };
     pub use freeride_gpu::{GpuDevice, GpuId, HardwareSpec, MemBytes, Priority, SharingKind};

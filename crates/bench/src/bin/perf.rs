@@ -17,7 +17,10 @@
 //!    `hetero_events_per_sec` (the heterogeneous-hardware metric);
 //! 5. **Chaos run** — the chaos benchmark's five-cell grid (one fault
 //!    trace under every resilience mechanism), reporting
-//!    `chaos_events_per_sec` (the fault-injection-path metric).
+//!    `chaos_events_per_sec` (the fault-injection-path metric);
+//! 6. **Traffic run** — a long-lived cluster under open-loop Poisson
+//!    load through the full guarded middleware stack, reporting
+//!    `traffic_events_per_sec` (the service-front-end metric).
 //!
 //! Results are printed and written to `BENCH.json` in the current
 //! directory so every PR leaves a perf trajectory to regress against
@@ -26,7 +29,9 @@
 //! Run: `cargo run --release -p freeride-bench --bin perf
 //! [epochs] [--threads N]`
 
-use freeride_bench::{all_methods, chaos, default_threads, main_pipeline, BenchArgs, SweepRunner};
+use freeride_bench::{
+    all_methods, chaos, default_threads, main_pipeline, traffic, BenchArgs, SweepRunner,
+};
 use freeride_core::{
     run_colocation, Cluster, ClusterJob, ColocationRun, FastestFit, FreeRideConfig, LeastLoaded,
     Submission,
@@ -148,6 +153,31 @@ fn chaos_run_once(args: &BenchArgs) -> u64 {
         .sum()
 }
 
+/// The standard traffic run: a long-lived cluster under Poisson load
+/// through the full guarded middleware stack.
+fn traffic_run_once(args: &BenchArgs) -> u64 {
+    let seed = args.seed.unwrap_or(traffic::DEFAULT_SEED);
+    let cell = freeride_bench::traffic::TrafficCell {
+        process: "poisson",
+        stack: "guarded",
+    };
+    traffic::run_cell(args.epochs, seed, cell).events
+}
+
+/// One measurement of the service front-end hot path.
+fn traffic_perf(args: &BenchArgs) -> SingleRun {
+    // One warm-up, then the measured run.
+    let _ = traffic_run_once(args);
+    let start = Instant::now();
+    let events = traffic_run_once(args);
+    let wall_s = start.elapsed().as_secs_f64();
+    SingleRun {
+        wall_s,
+        events,
+        events_per_sec: events as f64 / wall_s,
+    }
+}
+
 /// One measurement of the fault-injection hot path.
 fn chaos_perf(args: &BenchArgs) -> SingleRun {
     // One warm-up, then the measured run.
@@ -228,6 +258,13 @@ fn main() {
         chaos_run.wall_s, chaos_run.events, chaos_run.events_per_sec
     );
 
+    println!("-- traffic run (open-loop Poisson load through the guarded middleware stack) --");
+    let traffic_run = traffic_perf(&args);
+    println!(
+        "wall {:.3}s, {} events, {:.0} traffic events/sec",
+        traffic_run.wall_s, traffic_run.events, traffic_run.events_per_sec
+    );
+
     println!("-- standard sweep (10 runs: table1 workloads + table2 mixed methods) --");
     let (seq_s, seq_events) = timed_sweep(SweepRunner::new(1), &args);
     println!("sequential: {seq_s:.3}s ({seq_events} events)");
@@ -248,7 +285,7 @@ fn main() {
         .unwrap_or(0);
     let json = format!(
         "{{\n  \
-         \"bench_version\": 4,\n  \
+         \"bench_version\": 5,\n  \
          \"unix_time\": {unix_time},\n  \
          \"host\": {{ \"cores\": {cores} }},\n  \
          \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10, \"cluster_jobs\": 4 }},\n  \
@@ -256,6 +293,7 @@ fn main() {
          \"cluster\": {{ \"wall_s\": {cw:.4}, \"events\": {ce}, \"cluster_events_per_sec\": {ceps:.0} }},\n  \
          \"hetero\": {{ \"wall_s\": {hw:.4}, \"events\": {he}, \"hetero_events_per_sec\": {heps:.0} }},\n  \
          \"chaos\": {{ \"wall_s\": {xw:.4}, \"events\": {xe}, \"chaos_events_per_sec\": {xeps:.0} }},\n  \
+         \"traffic\": {{ \"wall_s\": {tw:.4}, \"events\": {te}, \"traffic_events_per_sec\": {teps:.0} }},\n  \
          \"sweep\": {{ \"sequential_s\": {qs:.4}, \"parallel_s\": {ps:.4}, \"speedup\": {sp:.3}, \"events\": {ev} }}\n\
          }}\n",
         epochs = args.epochs,
@@ -272,6 +310,9 @@ fn main() {
         xw = chaos_run.wall_s,
         xe = chaos_run.events,
         xeps = chaos_run.events_per_sec,
+        tw = traffic_run.wall_s,
+        te = traffic_run.events,
+        teps = traffic_run.events_per_sec,
         qs = seq_s,
         ps = par_s,
         sp = speedup,

@@ -17,7 +17,8 @@
 //! | `cluster` | beyond the paper: multi-job cluster scaling, job count × placement policy |
 //! | `hetero` | beyond the paper: heterogeneous GPU fleets, fleet mix × placement policy |
 //! | `chaos` | beyond the paper: one fault trace under every resilience mechanism |
-//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, hetero, chaos, sweep speedup |
+//! | `traffic` | beyond the paper: open-loop multi-tenant traffic against the service front-end |
+//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, hetero, chaos, traffic, sweep speedup |
 //!
 //! Run them all: `cargo bench -p freeride-bench` (the `paper_experiments`
 //! bench target), or individually `cargo run --release -p freeride-bench
@@ -28,6 +29,7 @@
 
 pub mod chaos;
 pub mod sweep;
+pub mod traffic;
 
 pub use sweep::{default_threads, SweepRunner};
 

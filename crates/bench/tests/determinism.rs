@@ -2,7 +2,7 @@
 //! simulations across threads must produce byte-identical results to a
 //! sequential run of the same closures, in submission order.
 
-use freeride_bench::{chaos, main_pipeline, SweepRunner};
+use freeride_bench::{chaos, main_pipeline, traffic, SweepRunner};
 use freeride_core::{
     run_colocation, BestFitMemory, Cluster, ClusterJob, FastestFit, FirstFit, FreeRideConfig,
     LeastLoaded, MinTasksJob, PlacementPolicy, Submission,
@@ -191,6 +191,30 @@ fn chaos_sweep_is_byte_identical_to_sequential() {
         assert_eq!(
             sequential, parallel,
             "threads={threads} must not change a single byte of chaos output"
+        );
+    }
+}
+
+/// The traffic-bin row computation: the 3-process × 2-stack service
+/// front-end grid, formatted exactly like the binary's output rows.
+fn traffic_rows(threads: usize) -> Vec<String> {
+    traffic::run_cells(2, traffic::DEFAULT_SEED, SweepRunner::new(threads))
+        .iter()
+        .flat_map(traffic::rows)
+        .collect()
+}
+
+#[test]
+fn traffic_sweep_is_byte_identical_to_sequential() {
+    // The ISSUE's bar: the traffic bin must print the same bytes at
+    // `--threads 1` and `--threads 4`, even though its cells meter,
+    // delay, and shed hundreds of generated arrivals.
+    let sequential = traffic_rows(1);
+    for threads in [2, 4] {
+        let parallel = traffic_rows(threads);
+        assert_eq!(
+            sequential, parallel,
+            "threads={threads} must not change a single byte of traffic output"
         );
     }
 }

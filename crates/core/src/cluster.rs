@@ -39,6 +39,7 @@ use crate::deployment::{
 use crate::fault::{FaultPlan, SubmitOptions};
 use crate::manager::SubmitError;
 use crate::orchestrator::{execute_cluster, JobExecSpec, TaskSummary};
+use crate::service::{ServiceChain, ServiceReport, SubmitMiddleware};
 use crate::state::SideTaskState;
 use crate::task::{StopReason, TaskId};
 use freeride_gpu::{HardwareSpec, MemBytes};
@@ -515,6 +516,7 @@ pub struct ClusterBuilder {
     policy: Arc<dyn PlacementPolicy>,
     seed: Option<u64>,
     cost_report: bool,
+    layers: Vec<Box<dyn SubmitMiddleware>>,
 }
 
 impl ClusterBuilder {
@@ -544,6 +546,15 @@ impl ClusterBuilder {
     /// required for [`ClusterReport::global_throughput_loss`].
     pub fn cost_report(mut self, enabled: bool) -> Self {
         self.cost_report = enabled;
+        self
+    }
+
+    /// Registers a [`SubmitMiddleware`] layer on the submit path. Layers
+    /// compose in the onion model, **first registered = outermost**;
+    /// with no layers registered, submissions take the historical direct
+    /// path, byte-identically.
+    pub fn layer(mut self, layer: impl SubmitMiddleware + 'static) -> Self {
+        self.layers.push(Box::new(layer));
         self
     }
 
@@ -578,6 +589,13 @@ impl ClusterBuilder {
             cost_report: self.cost_report,
             next_id: 0,
             rejected: Vec::new(),
+            service: {
+                let mut chain = ServiceChain::default();
+                for layer in self.layers {
+                    chain.push(layer);
+                }
+                chain
+            },
         }
     }
 }
@@ -590,6 +608,7 @@ pub struct ClusterTaskHandle {
     job: usize,
     handle: TaskHandle,
     priority: Option<String>,
+    admitted_at: SimTime,
 }
 
 impl ClusterTaskHandle {
@@ -602,6 +621,15 @@ impl ClusterTaskHandle {
     /// ([`SubmitOptions::priority`]), if any.
     pub fn priority(&self) -> Option<&str> {
         self.priority.as_deref()
+    }
+
+    /// The submission's effective arrival at the admission plane — after
+    /// any delays added by service-layer middleware (e.g. a delaying
+    /// [`crate::RateLimit`]). Placement within the hosting job happens at
+    /// this instant; `admitted_at - original arrival` is the
+    /// latency-to-placement the service metrics report.
+    pub fn admitted_at(&self) -> SimTime {
+        self.admitted_at
     }
 
     /// The underlying per-task handle.
@@ -691,6 +719,7 @@ pub struct Cluster {
     cost_report: bool,
     next_id: u64,
     rejected: Vec<RejectedSubmission>,
+    service: ServiceChain,
 }
 
 impl Cluster {
@@ -701,6 +730,7 @@ impl Cluster {
             policy: Arc::new(MinTasksJob),
             seed: None,
             cost_report: true,
+            layers: Vec::new(),
         }
     }
 
@@ -791,10 +821,13 @@ impl Cluster {
         self.submit_with(submission, SubmitOptions::new().affinity(job))
     }
 
-    /// The unified submission front door: routes `submission` under
-    /// `opts` — job affinity (with cluster-wide spillover), a
-    /// [`crate::RetryPolicy`] for in-run admission, and a priority tag
-    /// carried into the returned handle.
+    /// The unified submission front door: drives `submission` through
+    /// the registered [`SubmitMiddleware`] chain (outermost layer first;
+    /// an empty chain short-circuits to the direct path, byte-identically)
+    /// and routes it under `opts` — job affinity (with cluster-wide
+    /// spillover), a [`crate::RetryPolicy`] for in-run admission, a
+    /// tenant label and placement deadline for the service layer, and a
+    /// priority tag carried into the returned handle.
     ///
     /// ```
     /// use freeride_core::{Cluster, ClusterJob, RetryPolicy, Submission, SubmitOptions};
@@ -831,10 +864,19 @@ impl Cluster {
         if let Some(job) = opts.affinity {
             assert!(job < self.jobs.len(), "job {job} out of range");
         }
-        self.route(submission, opts)
+        if self.service.is_empty() {
+            return self.route(submission, opts);
+        }
+        let mut chain = std::mem::take(&mut self.service);
+        let result = chain.dispatch(self, submission, opts);
+        self.service = chain;
+        result
     }
 
-    fn route(
+    /// The direct admission path at the center of the onion: allocate an
+    /// id, enforce the deadline, place via the policy, book the
+    /// acceptance (or the typed rejection).
+    pub(crate) fn route(
         &mut self,
         submission: Submission,
         opts: SubmitOptions,
@@ -842,7 +884,16 @@ impl Cluster {
         let preferred = opts.affinity;
         let id = TaskId(self.next_id);
         self.next_id += 1;
-        let admitted = submission.profile().and_then(|profile| {
+        let deadline_ok = match opts.deadline {
+            Some(deadline) if submission.arrival() > deadline => {
+                Err(SubmitError::DeadlineExceeded {
+                    deadline,
+                    arrival: submission.arrival(),
+                })
+            }
+            _ => Ok(()),
+        };
+        let admitted = deadline_ok.and(submission.profile()).and_then(|profile| {
             let needed = profile.gpu_mem;
             let placement = match preferred {
                 // Affinity first, cluster-wide spillover second.
@@ -862,6 +913,7 @@ impl Cluster {
         });
         match admitted {
             Ok((profile, placement)) => {
+                let admitted_at = submission.arrival();
                 let (job, pinned) = self.validate_placement(placement, profile.gpu_mem);
                 let outcome = Arc::new(OnceLock::new());
                 let handle = TaskHandle::new(id, submission.tag().clone(), Arc::clone(&outcome));
@@ -883,6 +935,7 @@ impl Cluster {
                     job,
                     handle,
                     priority: opts.priority,
+                    admitted_at,
                 })
             }
             Err(error) => {
@@ -981,6 +1034,7 @@ impl Cluster {
             jobs,
             rejected: self.rejected,
             events_processed,
+            service: self.service.finish(),
         }
     }
 }
@@ -1021,6 +1075,11 @@ pub struct ClusterReport {
     pub rejected: Vec<RejectedSubmission>,
     /// Discrete events delivered across every job of the cluster run.
     pub events_processed: u64,
+    /// What the service front-end observed — per-layer accept/reject
+    /// counters plus [`crate::ServiceMetrics`] aggregates. `Some` exactly
+    /// when middleware layers were registered
+    /// ([`ClusterBuilder::layer`]).
+    pub service: Option<ServiceReport>,
 }
 
 impl ClusterReport {

@@ -307,6 +307,14 @@ pub struct SubmitOptions {
     /// Free-form priority tag carried into the handle (reporting only —
     /// placement stays policy-driven).
     pub priority: Option<String>,
+    /// Tenant label the service layer keys quotas and per-tenant metrics
+    /// on. `None` falls under the shared
+    /// [`DEFAULT_TENANT`](crate::DEFAULT_TENANT) bucket.
+    pub tenant: Option<String>,
+    /// Hard sim-time placement deadline: the admission plane rejects the
+    /// submission with [`SubmitError::DeadlineExceeded`] if its effective
+    /// arrival (after any service-layer delays) lands past this instant.
+    pub deadline: Option<SimTime>,
 }
 
 impl SubmitOptions {
@@ -331,6 +339,21 @@ impl SubmitOptions {
     /// handle; reporting only).
     pub fn priority(mut self, tag: impl Into<String>) -> Self {
         self.priority = Some(tag.into());
+        self
+    }
+
+    /// Attributes the submission to `tenant` for quota accounting and
+    /// per-tenant service metrics.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets a hard placement deadline: arrive (effectively, after any
+    /// service-layer delays) by `at` or be rejected with
+    /// [`SubmitError::DeadlineExceeded`].
+    pub fn deadline(mut self, at: SimTime) -> Self {
+        self.deadline = Some(at);
         self
     }
 }

@@ -33,6 +33,14 @@
 //!   ([`RetryPolicy`]), side-task checkpoint/restart
 //!   ([`ClusterJob::checkpoint`]), and a per-worker [`CircuitBreaker`]
 //!   wrapping any placement policy;
+//! * the **service front-end** ([`SubmitMiddleware`]): an onion-model
+//!   middleware chain on the cluster's submit path — admission control
+//!   ([`AdmissionControl`]), per-tenant quotas ([`TenantQuota`]),
+//!   sim-time token-bucket rate limiting ([`RateLimit`]), priority
+//!   tagging, deadline enforcement, and a metrics layer
+//!   ([`ServiceMetrics`]) reporting latency-to-placement histograms and
+//!   per-tenant/per-layer rejection counts in
+//!   [`ClusterReport::service`];
 //! * the **orchestrator** wiring the instrumented pipeline trainers,
 //!   managers, and workers together over one latency-modelled RPC bus
 //!   with a job-qualified endpoint namespace (driven by
@@ -72,6 +80,7 @@ mod manager;
 mod metrics;
 mod orchestrator;
 mod profiler;
+mod service;
 mod state;
 mod task;
 mod worker;
@@ -94,6 +103,11 @@ pub use orchestrator::{
     run_baseline, run_baseline_with, run_colocation, ColocationRun, TaskSummary,
 };
 pub use profiler::{profile_side_task, profile_side_task_on, MeasuredProfile};
+pub use service::{
+    AdmissionControl, DeadlineLayer, LatencyHistogram, LayerReport, Next, PriorityTag, RateLimit,
+    RateLimitMode, ServiceMetrics, ServiceReport, SubmitMiddleware, TenantQuota, TenantStats,
+    DEFAULT_TENANT,
+};
 pub use state::{next_state, IllegalTransition, SideTaskState, StateMachine, Transition};
 pub use task::{Misbehavior, SideTask, StopReason, TaskId};
 pub use worker::{Worker, WorkerAccounting, WorkerEffect};

@@ -103,6 +103,57 @@ pub enum SubmitError {
         /// The worker whose breaker rejected the submission.
         worker: usize,
     },
+    /// The submission could not be placed before its sim-time deadline
+    /// ([`SubmitOptions::deadline`](crate::SubmitOptions::deadline)) —
+    /// typically because an upstream service layer (rate limiting,
+    /// retries) delayed its effective arrival past the cutoff.
+    DeadlineExceeded {
+        /// The deadline the submission carried.
+        deadline: SimTime,
+        /// The effective arrival that overshot it.
+        arrival: SimTime,
+    },
+    /// A token-bucket rate limiter ([`crate::RateLimit`]) shed the
+    /// submission: the bucket was empty at its arrival. Retryable at
+    /// `retry_at`, when the next token accrues.
+    RateLimited {
+        /// Earliest simulated time a token will be available.
+        retry_at: SimTime,
+    },
+    /// A per-tenant quota ([`crate::TenantQuota`]) was exhausted: the
+    /// tenant already had `limit` submissions accepted inside the quota
+    /// window.
+    QuotaExceeded {
+        /// The tenant's admission limit per window.
+        limit: usize,
+    },
+    /// The cluster-wide admission gate ([`crate::AdmissionControl`]) shed
+    /// the submission under pressure: `inflight` recent admissions against
+    /// a ceiling of `limit`.
+    Overloaded {
+        /// Admissions counted inside the pressure window.
+        inflight: usize,
+        /// The gate's admission ceiling.
+        limit: usize,
+    },
+}
+
+impl SubmitError {
+    /// A stable, payload-free label for this error's variant — what
+    /// service metrics key rejection counts by.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SubmitError::InsufficientMemory { .. } => "insufficient-memory",
+            SubmitError::InvalidBatch { .. } => "invalid-batch",
+            SubmitError::ArrivedAfterShutdown { .. } => "arrived-after-shutdown",
+            SubmitError::WorkerDown { .. } => "worker-down",
+            SubmitError::CircuitOpen { .. } => "circuit-open",
+            SubmitError::DeadlineExceeded { .. } => "deadline-exceeded",
+            SubmitError::RateLimited { .. } => "rate-limited",
+            SubmitError::QuotaExceeded { .. } => "quota-exceeded",
+            SubmitError::Overloaded { .. } => "overloaded",
+        }
+    }
 }
 
 impl core::fmt::Display for SubmitError {
@@ -129,6 +180,20 @@ impl core::fmt::Display for SubmitError {
             SubmitError::CircuitOpen { worker } => {
                 write!(f, "circuit breaker open for worker {worker}")
             }
+            SubmitError::DeadlineExceeded { deadline, arrival } => write!(
+                f,
+                "placement deadline {deadline} exceeded: effective arrival was {arrival}"
+            ),
+            SubmitError::RateLimited { retry_at } => {
+                write!(f, "rate limited: next token available at {retry_at}")
+            }
+            SubmitError::QuotaExceeded { limit } => {
+                write!(f, "tenant quota exhausted: {limit} admissions per window")
+            }
+            SubmitError::Overloaded { inflight, limit } => write!(
+                f,
+                "cluster overloaded: {inflight} recent admissions against a ceiling of {limit}"
+            ),
         }
     }
 }

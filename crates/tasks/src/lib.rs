@@ -17,7 +17,11 @@
 //!   workloads — the paper's Fig. 6 porting exercise — are first-class
 //!   submission currency; [`WorkloadKind`] implements it, making the six
 //!   built-ins one provider among many;
-//! * **Server specs and prices** for the cost-savings metric.
+//! * **Server specs and prices** for the cost-savings metric;
+//! * An **open-loop traffic generator** ([`TrafficGen`]): deterministic,
+//!   seeded arrival processes (Poisson, bursty ON/OFF, diurnal) over
+//!   multi-tenant workload mixes, feeding the service front-end in
+//!   `freeride-core`.
 //!
 //! ## Example
 //!
@@ -43,6 +47,7 @@ mod graph;
 mod image;
 mod nn;
 mod profiles;
+mod traffic;
 mod workload;
 
 pub use cost::ServerSpec;
@@ -51,4 +56,5 @@ pub use graph::{CsrGraph, GraphSgd, PageRank};
 pub use image::{Image, ImagePipeline};
 pub use nn::{Matrix, NnTraining};
 pub use profiles::{WorkloadKind, WorkloadProfile, DEFAULT_BATCH};
+pub use traffic::{Arrival, ArrivalProcess, TrafficClass, TrafficGen};
 pub use workload::{GraphSgdTask, ImageTask, NnTrainingTask, PageRankTask, SideTaskWorkload};

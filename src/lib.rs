@@ -66,14 +66,16 @@ pub use freeride_tasks as tasks;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use freeride_core::{
-        evaluate, run_baseline, run_colocation, time_increase, BestFitMemory, BreakerState,
-        CircuitBreaker, Cluster, ClusterBuilder, ClusterJob, ClusterReport, ClusterTaskHandle,
-        ClusterView, ColocationMode, ColocationRun, CostReport, Deployment, DeploymentBuilder,
-        DeploymentReport, FastestFit, FaultEvent, FaultKind, FaultPlan, FirstFit, FreeRideConfig,
-        InterfaceKind, JobView, LeastLoaded, MinTasksJob, Misbehavior, Placement, PlacementPolicy,
-        RejectedSubmission, RetryPolicy, SideTaskManager, SideTaskState, StopReason, Submission,
-        SubmitError, SubmitOptions, TaskHandle, TaskId, TaskSummary, Transition, WorkerPolicy,
-        WorkerView,
+        evaluate, run_baseline, run_colocation, time_increase, AdmissionControl, BestFitMemory,
+        BreakerState, CircuitBreaker, Cluster, ClusterBuilder, ClusterJob, ClusterReport,
+        ClusterTaskHandle, ClusterView, ColocationMode, ColocationRun, CostReport, DeadlineLayer,
+        Deployment, DeploymentBuilder, DeploymentReport, FastestFit, FaultEvent, FaultKind,
+        FaultPlan, FirstFit, FreeRideConfig, InterfaceKind, JobView, LatencyHistogram, LayerReport,
+        LeastLoaded, MinTasksJob, Misbehavior, Next, Placement, PlacementPolicy, PriorityTag,
+        RateLimit, RateLimitMode, RejectedSubmission, RetryPolicy, ServiceMetrics, ServiceReport,
+        SideTaskManager, SideTaskState, StopReason, Submission, SubmitError, SubmitMiddleware,
+        SubmitOptions, TaskHandle, TaskId, TaskSummary, TenantQuota, TenantStats, Transition,
+        WorkerPolicy, WorkerView, DEFAULT_TENANT,
     };
     pub use freeride_gpu::{GpuDevice, GpuId, HardwareSpec, MemBytes, Priority, SharingKind};
     pub use freeride_pipeline::{
@@ -82,6 +84,7 @@ pub mod prelude {
     };
     pub use freeride_sim::{DetRng, SimDuration, SimTime, Simulation, World};
     pub use freeride_tasks::{
-        ServerSpec, SideTaskWorkload, WorkloadFactory, WorkloadKind, WorkloadProfile, WorkloadTag,
+        Arrival, ArrivalProcess, ServerSpec, SideTaskWorkload, TrafficClass, TrafficGen,
+        WorkloadFactory, WorkloadKind, WorkloadProfile, WorkloadTag,
     };
 }

@@ -4,15 +4,17 @@
 //! determinism under arbitrary fault traces.
 
 use freeride::core::{
-    next_state, BestFitMemory, Cluster, ClusterJob, ClusterReport, Deployment, FastestFit,
-    FaultPlan, FirstFit, FreeRideConfig, LeastLoaded, MinTasksJob, Placement, PlacementPolicy,
-    RetryPolicy, SideTaskManager, SideTaskState, Submission, SubmitOptions, TaskId, Transition,
+    next_state, AdmissionControl, BestFitMemory, Cluster, ClusterJob, ClusterReport, DeadlineLayer,
+    Deployment, FastestFit, FaultPlan, FirstFit, FreeRideConfig, LeastLoaded, MinTasksJob,
+    Placement, PlacementPolicy, PriorityTag, RateLimit, RateLimitMode, RetryPolicy, ServiceMetrics,
+    SideTaskManager, SideTaskState, Submission, SubmitOptions, TaskId, TenantQuota, Transition,
     WorkerPolicy,
 };
 use freeride::gpu::{HardwareSpec, MemBytes, MemoryPool};
 use freeride::pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
 use freeride::sim::{EventQueue, SimDuration, SimTime};
 use freeride::tasks::WorkloadKind;
+use freeride::tasks::{ArrivalProcess, TrafficClass, TrafficGen};
 use proptest::prelude::*;
 
 proptest! {
@@ -409,5 +411,92 @@ proptest! {
         let a = run();
         let b = run();
         prop_assert_eq!(digest(&a), digest(&b), "fault trace {:?} diverged on replay", events);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Service determinism: an arbitrary middleware stack — any mix of
+    /// admission control, quotas, shedding/delaying rate limiters,
+    /// priority tags, and deadlines, in any order — driven by an
+    /// arbitrary generated arrival trace, replayed twice, yields an
+    /// identical service report. The front-end must not break the
+    /// simulation's replay contract.
+    #[test]
+    fn any_middleware_stack_replays_identically(
+        layers in prop::collection::vec(
+            (0u8..5, 1usize..12, 200u64..4_000, 1u64..40),
+            0..5,
+        ),
+        seed in 1u64..u64::MAX,
+        poisson in any::<bool>(),
+        rate_x10 in 5u64..40,
+    ) {
+        let trace = || {
+            let process = if poisson {
+                ArrivalProcess::Poisson { rate_per_sec: rate_x10 as f64 / 10.0 }
+            } else {
+                ArrivalProcess::OnOff {
+                    on: SimDuration::from_millis(800),
+                    off: SimDuration::from_millis(1_700),
+                    rate_per_sec: rate_x10 as f64 / 4.0,
+                }
+            };
+            TrafficGen::new(seed)
+                .duration(SimDuration::from_secs(10))
+                .class(
+                    TrafficClass::new("alpha", process)
+                        .workload(WorkloadKind::PageRank, 2.0)
+                        .workload(WorkloadKind::ImageProc, 1.0),
+                )
+                .generate()
+        };
+        let run = || {
+            let pipeline =
+                PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2);
+            let mut builder = Cluster::builder()
+                .job(ClusterJob::new(pipeline).seed(seed))
+                .cost_report(false)
+                .layer(ServiceMetrics::new());
+            for (kind, limit, ms, rate_x10) in &layers {
+                let window = SimDuration::from_millis(*ms);
+                let rate = *rate_x10 as f64 / 10.0;
+                builder = match kind {
+                    0 => builder.layer(AdmissionControl::new(*limit, window)),
+                    1 => builder.layer(TenantQuota::new(*limit, window)),
+                    2 => builder.layer(RateLimit::new(rate, *limit)),
+                    3 => builder
+                        .layer(RateLimit::new(rate, *limit).mode(RateLimitMode::Delay)),
+                    _ => builder.layer(PriorityTag::new("prop")),
+                };
+            }
+            let mut cluster = builder
+                .layer(DeadlineLayer::new(SimDuration::from_millis(2_500)))
+                .build();
+            for arrival in trace() {
+                let _ = cluster.submit_with(
+                    Submission::new(arrival.kind).at(arrival.at),
+                    SubmitOptions::new().tenant(arrival.tenant),
+                );
+            }
+            cluster.run()
+        };
+        let digest = |r: &ClusterReport| {
+            let s = r.service.as_ref().expect("metrics layer registered");
+            format!(
+                "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}",
+                s.layers,
+                s.placement,
+                s.tenants,
+                s.rejections_by_kind,
+                s.latency.as_ref().map(|h| (h.len(), h.p50(), h.p99(), h.p999())),
+                r.events_processed,
+                r.makespan(),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(digest(&a), digest(&b), "stack {:?} diverged on replay", layers);
     }
 }

@@ -22,7 +22,7 @@
 use freeride_bench::{header, pct, BenchArgs};
 use freeride_core::{
     BestFitMemory, Cluster, ClusterJob, ClusterReport, FirstFit, LeastLoaded, MinTasksJob,
-    PlacementPolicy, Submission,
+    PlacementPolicy, Submission, SubmitOptions,
 };
 use freeride_gpu::MemBytes;
 use freeride_pipeline::{ModelSpec, PipelineConfig};
@@ -77,17 +77,26 @@ fn run_cell(jobs: usize, policy: &str, epochs: usize, seed: Option<u64>) -> Clus
 
     // Affinity: one PageRank pinned to each job (spills over if cramped).
     for j in 0..jobs {
-        let _ = cluster.submit_to_job(j, Submission::new(WorkloadKind::PageRank));
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new().affinity(j),
+        );
     }
     // Policy-routed built-ins, one wave per job.
     for _ in 0..jobs {
-        let _ = cluster.submit(Submission::new(WorkloadKind::ResNet18));
-        let _ = cluster.submit(Submission::new(WorkloadKind::ImageProc));
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::ResNet18),
+            SubmitOptions::new(),
+        );
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::ImageProc),
+            SubmitOptions::new(),
+        );
     }
     // Contended footprints: the 25 GiB task only fits a 1.2B job's late
     // stages — single-job (3.6B-only) clusters must reject it.
     for gib in [8, 12, 18, 25] {
-        let _ = cluster.submit(task_of(gib));
+        let _ = cluster.submit_with(task_of(gib), SubmitOptions::new());
     }
     cluster.run()
 }

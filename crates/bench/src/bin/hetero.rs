@@ -23,7 +23,7 @@
 use freeride_bench::{header, pct, BenchArgs};
 use freeride_core::{
     BestFitMemory, Cluster, ClusterJob, ClusterReport, FastestFit, FirstFit, LeastLoaded,
-    MinTasksJob, PlacementPolicy, Submission,
+    MinTasksJob, PlacementPolicy, Submission, SubmitOptions,
 };
 use freeride_gpu::{HardwareSpec, MemBytes};
 use freeride_pipeline::{ModelSpec, PipelineConfig};
@@ -103,18 +103,28 @@ fn run_cell(
     // Policy-routed built-ins: enough waves that placement differences
     // show up in per-worker step counts.
     for _ in 0..2 {
-        let _ = cluster.submit(Submission::new(WorkloadKind::PageRank));
-        let _ = cluster.submit(Submission::new(WorkloadKind::ResNet18));
-        let _ = cluster.submit(Submission::new(WorkloadKind::ImageProc));
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new(),
+        );
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::ResNet18),
+            SubmitOptions::new(),
+        );
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::ImageProc),
+            SubmitOptions::new(),
+        );
     }
     // Contended footprints: 6 GiB fits most workers; 30 GiB only fits the
     // roomy 80 GiB head stages of the mixed fleets.
     for gib in [6, 30] {
-        let _ = cluster.submit(Submission::custom(
-            format!("mem{gib}g"),
-            MemBytes::from_gib(gib),
-            |s| WorkloadKind::PageRank.build(s),
-        ));
+        let _ = cluster.submit_with(
+            Submission::custom(format!("mem{gib}g"), MemBytes::from_gib(gib), |s| {
+                WorkloadKind::PageRank.build(s)
+            }),
+            SubmitOptions::new(),
+        );
     }
     cluster.run()
 }

@@ -15,12 +15,15 @@
 //! 4. **Hetero run** — the 1.2B model on a mixed fleet (H100 / A100-80 /
 //!    A100-40 / L4) under `FastestFit` placement, reporting
 //!    `hetero_events_per_sec` (the heterogeneous-hardware metric);
-//! 5. **Chaos run** — the chaos benchmark's five-cell grid (one fault
+//! 5. **Chaos run** — the chaos benchmark's six-cell grid (one fault
 //!    trace under every resilience mechanism), reporting
 //!    `chaos_events_per_sec` (the fault-injection-path metric);
 //! 6. **Traffic run** — a long-lived cluster under open-loop Poisson
 //!    load through the full guarded middleware stack, reporting
-//!    `traffic_events_per_sec` (the service-front-end metric).
+//!    `traffic_events_per_sec` (the service-front-end metric);
+//! 7. **Health run** — the health benchmark's four-cell supervision grid
+//!    (one fault trace under every supervision level), reporting
+//!    `health_events_per_sec` (the failure-detection-path metric).
 //!
 //! Results are printed and written to `BENCH.json` in the current
 //! directory so every PR leaves a perf trajectory to regress against
@@ -30,11 +33,11 @@
 //! [epochs] [--threads N]`
 
 use freeride_bench::{
-    all_methods, chaos, default_threads, main_pipeline, traffic, BenchArgs, SweepRunner,
+    all_methods, chaos, default_threads, health, main_pipeline, traffic, BenchArgs, SweepRunner,
 };
 use freeride_core::{
     run_colocation, Cluster, ClusterJob, ColocationRun, FastestFit, FreeRideConfig, LeastLoaded,
-    Submission,
+    Submission, SubmitOptions,
 };
 use freeride_gpu::HardwareSpec;
 use freeride_pipeline::{ModelSpec, PipelineConfig};
@@ -82,8 +85,14 @@ fn cluster_run_once(args: &BenchArgs) -> u64 {
     }
     let mut cluster = builder.build();
     for j in 0..4 {
-        let _ = cluster.submit_to_job(j, Submission::new(WorkloadKind::PageRank));
-        let _ = cluster.submit(Submission::new(WorkloadKind::ImageProc));
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new().affinity(j),
+        );
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::ImageProc),
+            SubmitOptions::new(),
+        );
     }
     cluster.run().events_processed
 }
@@ -125,7 +134,7 @@ fn hetero_run_once(args: &BenchArgs) -> u64 {
         WorkloadKind::ImageProc,
         WorkloadKind::PageRank,
     ] {
-        let _ = cluster.submit(Submission::new(kind));
+        let _ = cluster.submit_with(Submission::new(kind), SubmitOptions::new());
     }
     cluster.run().events_processed
 }
@@ -144,7 +153,7 @@ fn hetero_perf(args: &BenchArgs) -> SingleRun {
     }
 }
 
-/// The standard chaos run: the five-cell mechanism grid, sequentially.
+/// The standard chaos run: the six-cell mechanism grid, sequentially.
 fn chaos_run_once(args: &BenchArgs) -> u64 {
     let seed = args.seed.unwrap_or(chaos::DEFAULT_SEED);
     chaos::run_cells(args.epochs, seed, SweepRunner::new(1))
@@ -170,6 +179,29 @@ fn traffic_perf(args: &BenchArgs) -> SingleRun {
     let _ = traffic_run_once(args);
     let start = Instant::now();
     let events = traffic_run_once(args);
+    let wall_s = start.elapsed().as_secs_f64();
+    SingleRun {
+        wall_s,
+        events,
+        events_per_sec: events as f64 / wall_s,
+    }
+}
+
+/// The standard health run: the four-cell supervision grid, sequentially.
+fn health_run_once(args: &BenchArgs) -> u64 {
+    let seed = args.seed.unwrap_or(health::DEFAULT_SEED);
+    health::run_cells(args.epochs, seed, SweepRunner::new(1))
+        .iter()
+        .map(|o| o.events)
+        .sum()
+}
+
+/// One measurement of the failure-detection hot path.
+fn health_perf(args: &BenchArgs) -> SingleRun {
+    // One warm-up, then the measured run.
+    let _ = health_run_once(args);
+    let start = Instant::now();
+    let events = health_run_once(args);
     let wall_s = start.elapsed().as_secs_f64();
     SingleRun {
         wall_s,
@@ -251,7 +283,7 @@ fn main() {
         hetero.wall_s, hetero.events, hetero.events_per_sec
     );
 
-    println!("-- chaos run (5-cell resilience grid on one fault trace) --");
+    println!("-- chaos run (6-cell resilience grid on one fault trace) --");
     let chaos_run = chaos_perf(&args);
     println!(
         "wall {:.3}s, {} events, {:.0} chaos events/sec",
@@ -263,6 +295,13 @@ fn main() {
     println!(
         "wall {:.3}s, {} events, {:.0} traffic events/sec",
         traffic_run.wall_s, traffic_run.events, traffic_run.events_per_sec
+    );
+
+    println!("-- health run (4-cell supervision grid on one fault trace) --");
+    let health_run = health_perf(&args);
+    println!(
+        "wall {:.3}s, {} events, {:.0} health events/sec",
+        health_run.wall_s, health_run.events, health_run.events_per_sec
     );
 
     println!("-- standard sweep (10 runs: table1 workloads + table2 mixed methods) --");
@@ -285,7 +324,7 @@ fn main() {
         .unwrap_or(0);
     let json = format!(
         "{{\n  \
-         \"bench_version\": 5,\n  \
+         \"bench_version\": 6,\n  \
          \"unix_time\": {unix_time},\n  \
          \"host\": {{ \"cores\": {cores} }},\n  \
          \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10, \"cluster_jobs\": 4 }},\n  \
@@ -294,6 +333,7 @@ fn main() {
          \"hetero\": {{ \"wall_s\": {hw:.4}, \"events\": {he}, \"hetero_events_per_sec\": {heps:.0} }},\n  \
          \"chaos\": {{ \"wall_s\": {xw:.4}, \"events\": {xe}, \"chaos_events_per_sec\": {xeps:.0} }},\n  \
          \"traffic\": {{ \"wall_s\": {tw:.4}, \"events\": {te}, \"traffic_events_per_sec\": {teps:.0} }},\n  \
+         \"health\": {{ \"wall_s\": {lw:.4}, \"events\": {le}, \"health_events_per_sec\": {leps:.0} }},\n  \
          \"sweep\": {{ \"sequential_s\": {qs:.4}, \"parallel_s\": {ps:.4}, \"speedup\": {sp:.3}, \"events\": {ev} }}\n\
          }}\n",
         epochs = args.epochs,
@@ -313,6 +353,9 @@ fn main() {
         tw = traffic_run.wall_s,
         te = traffic_run.events,
         teps = traffic_run.events_per_sec,
+        lw = health_run.wall_s,
+        le = health_run.events,
+        leps = health_run.events_per_sec,
         qs = seq_s,
         ps = par_s,
         sp = speedup,

@@ -25,9 +25,15 @@
 //! | `checkpoint` | checkpoint/restart | worker 1's task survives both crashes |
 //! | `breaker` | [`CircuitBreaker`] + retry | the pinned arrival waits out the flapping |
 //! | `all` | all three | the mechanisms compose |
+//! | `supervised` | all three + [`SupervisorConfig`] | proactive migration + hedging out-harvest `all` |
 //!
 //! (A breaker only acts on *re*-submissions, so its cell rides on retry;
-//! its isolated contribution is the delta against the `retry` cell.)
+//! its isolated contribution is the delta against the `retry` cell. The
+//! `supervised` cell arms the health subsystem on top of `all`: the
+//! failure detector suspects the flapping worker ~300ms after its first
+//! crash and migrates its checkpointed task to a healthy worker — dodging
+//! the second crash entirely instead of restoring into it — and the
+//! straggler window gets its laggards speculatively hedged.)
 //!
 //! Everything here is deterministic: cells fan out across threads via
 //! [`SweepRunner`] and come back in submission order, so the chaos bin's
@@ -37,6 +43,7 @@ use crate::sweep::SweepRunner;
 use freeride_core::{
     CircuitBreaker, Cluster, ClusterJob, ClusterReport, ClusterView, FaultPlan, MinTasksJob,
     Placement, PlacementPolicy, RetryPolicy, StopReason, Submission, SubmitOptions,
+    SupervisorConfig,
 };
 use freeride_gpu::MemBytes;
 use freeride_pipeline::{ModelSpec, PipelineConfig};
@@ -127,39 +134,55 @@ pub struct ChaosCell {
     /// The placement policy is wrapped in a [`CircuitBreaker`]
     /// (threshold 2, cooldown 3s); implies retry (see module docs).
     pub breaker: bool,
+    /// The health subsystem is armed ([`SupervisorConfig`] defaults plus
+    /// hedging at half the fleet median); rides on all three mechanisms.
+    pub supervise: bool,
 }
 
-/// The benchmark grid: no mechanism, each mechanism, all three.
-pub const CELLS: [ChaosCell; 5] = [
+/// The benchmark grid: no mechanism, each mechanism, all three, all
+/// three under supervision.
+pub const CELLS: [ChaosCell; 6] = [
     ChaosCell {
         name: "none",
         retry: false,
         checkpoint: false,
         breaker: false,
+        supervise: false,
     },
     ChaosCell {
         name: "retry",
         retry: true,
         checkpoint: false,
         breaker: false,
+        supervise: false,
     },
     ChaosCell {
         name: "checkpoint",
         retry: false,
         checkpoint: true,
         breaker: false,
+        supervise: false,
     },
     ChaosCell {
         name: "breaker",
         retry: true,
         checkpoint: false,
         breaker: true,
+        supervise: false,
     },
     ChaosCell {
         name: "all",
         retry: true,
         checkpoint: true,
         breaker: true,
+        supervise: false,
+    },
+    ChaosCell {
+        name: "supervised",
+        retry: true,
+        checkpoint: true,
+        breaker: true,
+        supervise: true,
     },
 ];
 
@@ -200,6 +223,9 @@ pub fn run_cell(epochs: usize, seed: u64, cell: ChaosCell) -> CellOutcome {
     if cell.checkpoint {
         job = job.checkpoint(SimDuration::from_secs(1));
     }
+    if cell.supervise {
+        job = job.supervise(SupervisorConfig::new().hedge(0.5));
+    }
     let builder = Cluster::builder().job(job).cost_report(false);
     let builder = if cell.breaker {
         builder.policy(CircuitBreaker::new(
@@ -225,7 +251,10 @@ pub fn run_cell(epochs: usize, seed: u64, cell: ChaosCell) -> CellOutcome {
     // the second lands in the path of both crashes.
     for _ in 0..2 {
         cluster
-            .submit(Submission::new(WorkloadKind::PageRank))
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
             .expect("up-front tasks fit");
     }
     // Arrival inside the OOM window (3.0–5.0s): dead on arrival without
@@ -271,7 +300,7 @@ fn summarize(name: &'static str, report: &ClusterReport) -> CellOutcome {
         worst_recovery: job
             .recoveries
             .iter()
-            .map(|(_, d)| *d)
+            .map(|r| r.latency)
             .max()
             .unwrap_or(SimDuration::ZERO),
         events: report.events_processed,

@@ -17,8 +17,9 @@
 //! | `cluster` | beyond the paper: multi-job cluster scaling, job count × placement policy |
 //! | `hetero` | beyond the paper: heterogeneous GPU fleets, fleet mix × placement policy |
 //! | `chaos` | beyond the paper: one fault trace under every resilience mechanism |
+//! | `health` | beyond the paper: the same fault trace under increasing supervision levels |
 //! | `traffic` | beyond the paper: open-loop multi-tenant traffic against the service front-end |
-//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, hetero, chaos, traffic, sweep speedup |
+//! | `perf` | tracked perf baseline (`BENCH.json`): single-run, cluster, hetero, chaos, health, traffic, sweep speedup |
 //!
 //! Run them all: `cargo bench -p freeride-bench` (the `paper_experiments`
 //! bench target), or individually `cargo run --release -p freeride-bench
@@ -28,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod health;
 pub mod sweep;
 pub mod traffic;
 

@@ -2,10 +2,10 @@
 //! simulations across threads must produce byte-identical results to a
 //! sequential run of the same closures, in submission order.
 
-use freeride_bench::{chaos, main_pipeline, traffic, SweepRunner};
+use freeride_bench::{chaos, health, main_pipeline, traffic, SweepRunner};
 use freeride_core::{
     run_colocation, BestFitMemory, Cluster, ClusterJob, FastestFit, FirstFit, FreeRideConfig,
-    LeastLoaded, MinTasksJob, PlacementPolicy, Submission,
+    LeastLoaded, MinTasksJob, PlacementPolicy, Submission, SubmitOptions,
 };
 use freeride_gpu::HardwareSpec;
 use freeride_pipeline::{ModelSpec, PipelineConfig};
@@ -83,7 +83,7 @@ fn cluster_rows(threads: usize) -> Vec<String> {
                     .cost_report(false)
                     .build();
                 for kind in [WorkloadKind::PageRank, WorkloadKind::ImageProc] {
-                    let _ = cluster.submit(Submission::new(kind));
+                    let _ = cluster.submit_with(Submission::new(kind), SubmitOptions::new());
                 }
                 let report = cluster.run();
                 format!(
@@ -139,7 +139,7 @@ fn hetero_rows(threads: usize) -> Vec<String> {
                     .cost_report(false)
                     .build();
                 for kind in [WorkloadKind::PageRank, WorkloadKind::ImageProc] {
-                    let _ = cluster.submit(Submission::new(kind));
+                    let _ = cluster.submit_with(Submission::new(kind), SubmitOptions::new());
                 }
                 let report = cluster.run();
                 let placements: Vec<usize> =
@@ -171,7 +171,7 @@ fn hetero_sweep_is_byte_identical_to_sequential() {
     }
 }
 
-/// The chaos-bin row computation: the five-cell resilience grid over one
+/// The chaos-bin row computation: the six-cell resilience grid over one
 /// fault trace, formatted exactly like the binary's output rows.
 fn chaos_rows(threads: usize) -> Vec<String> {
     chaos::run_cells(3, chaos::DEFAULT_SEED, SweepRunner::new(threads))
@@ -191,6 +191,40 @@ fn chaos_sweep_is_byte_identical_to_sequential() {
         assert_eq!(
             sequential, parallel,
             "threads={threads} must not change a single byte of chaos output"
+        );
+    }
+}
+
+/// The health-bin row computation: the supervision-level grid over the
+/// chaos fault trace, formatted exactly like the binary's output rows —
+/// including the detector's full transition log and the TTD/TTR means.
+fn health_rows(threads: usize) -> Vec<String> {
+    health::run_cells(3, health::DEFAULT_SEED, SweepRunner::new(threads))
+        .iter()
+        .flat_map(health::rows)
+        .collect()
+}
+
+#[test]
+fn health_sweep_is_byte_identical_to_sequential() {
+    // The ISSUE's bar: detection and recovery latencies and the full
+    // detector transition log must not move by a byte across thread
+    // counts — supervision reacts to the event stream, so any
+    // nondeterminism in it would smear the log.
+    let sequential = health_rows(1);
+    assert!(
+        sequential.iter().any(|l| l.contains("->suspect")),
+        "the grid must actually exercise the detector"
+    );
+    assert!(
+        sequential.iter().any(|l| l.contains("mean_ttd=300.000ms")),
+        "detection latency must be part of the compared bytes"
+    );
+    for threads in [2, 4] {
+        let parallel = health_rows(threads);
+        assert_eq!(
+            sequential, parallel,
+            "threads={threads} must not change a single byte of health output"
         );
     }
 }

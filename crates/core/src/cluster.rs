@@ -37,6 +37,7 @@ use crate::deployment::{
     TaskHandle,
 };
 use crate::fault::{FaultPlan, SubmitOptions};
+use crate::health::{HealthReport, HealthState, SupervisorConfig};
 use crate::manager::SubmitError;
 use crate::orchestrator::{execute_cluster, JobExecSpec, TaskSummary};
 use crate::service::{ServiceChain, ServiceReport, SubmitMiddleware};
@@ -106,6 +107,13 @@ pub struct WorkerView {
     /// This worker's circuit-breaker state, when the active policy is (or
     /// wraps) a [`crate::CircuitBreaker`]; `None` otherwise.
     pub breaker: Option<BreakerState>,
+    /// This worker's health as seen by the job's supervisor, when one is
+    /// armed ([`ClusterJob::supervise`]); `None` otherwise. A
+    /// [`crate::HealthState::Suspect`] or [`crate::HealthState::Dead`]
+    /// worker is drained: the in-run admission plane rejects submissions
+    /// pinned to it with [`SubmitError::WorkerDown`] and skips it for
+    /// job-routed placements until its heartbeats resume.
+    pub health: Option<crate::HealthState>,
 }
 
 /// Read-only snapshot of one job offered to a policy.
@@ -390,6 +398,7 @@ pub struct ClusterJob {
     cfg: FreeRideConfig,
     faults: FaultPlan,
     checkpoint: Option<SimDuration>,
+    supervise: Option<SupervisorConfig>,
 }
 
 impl ClusterJob {
@@ -401,6 +410,7 @@ impl ClusterJob {
             cfg: FreeRideConfig::iterative(),
             faults: FaultPlan::new(),
             checkpoint: None,
+            supervise: None,
         }
     }
 
@@ -493,6 +503,25 @@ impl ClusterJob {
         self.checkpoint = Some(interval);
         self
     }
+
+    /// Arms the health subsystem for this job: a [`crate::Supervisor`]
+    /// runs a heartbeat-fed [`crate::FailureDetector`] over the workers,
+    /// drains workers it suspects, migrates checkpointed tasks off them
+    /// (when [`SupervisorConfig::migrate_on_suspect`] is set and
+    /// [`ClusterJob::checkpoint`] is also armed), and — with
+    /// [`SupervisorConfig::hedge`] — speculatively duplicates straggling
+    /// side tasks. Off by default; arming it appends its seeds after
+    /// every other schedule, so the un-supervised event stream is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SupervisorConfig::validate`].
+    pub fn supervise(mut self, cfg: SupervisorConfig) -> Self {
+        cfg.validate();
+        self.supervise = Some(cfg);
+        self
+    }
 }
 
 /// One job's submission-time state inside a cluster.
@@ -501,6 +530,7 @@ struct JobSlot {
     cfg: FreeRideConfig,
     faults: FaultPlan,
     checkpoint: Option<SimDuration>,
+    supervise: Option<SupervisorConfig>,
     accepted: Vec<AcceptedSubmission>,
     /// Submissions routed to this job (pinned or job-level).
     admitted: usize,
@@ -577,6 +607,7 @@ impl ClusterBuilder {
                         cfg: j.cfg,
                         faults: j.faults,
                         checkpoint: j.checkpoint,
+                        supervise: j.supervise,
                         accepted: Vec::new(),
                         admitted: 0,
                         pinned_counts: vec![0; stages],
@@ -687,7 +718,7 @@ impl ClusterTaskHandle {
 /// shared side-task admission plane.
 ///
 /// ```
-/// use freeride_core::{Cluster, ClusterJob, LeastLoaded, Submission};
+/// use freeride_core::{Cluster, ClusterJob, LeastLoaded, Submission, SubmitOptions};
 /// use freeride_pipeline::{ModelSpec, PipelineConfig};
 /// use freeride_tasks::WorkloadKind;
 ///
@@ -705,7 +736,7 @@ impl ClusterTaskHandle {
 ///     .build();
 ///
 /// let handle = cluster
-///     .submit(Submission::new(WorkloadKind::PageRank))
+///     .submit_with(Submission::new(WorkloadKind::PageRank), SubmitOptions::new())
 ///     .expect("some worker has room");
 /// let report = cluster.run();
 /// assert_eq!(report.jobs.len(), 2);
@@ -780,6 +811,9 @@ impl Cluster {
                                 compute_speed: slot.pipeline.compute_speed(w),
                                 device_memory: slot.pipeline.device_memory(w),
                                 breaker: self.policy.breaker_state(j, w),
+                                // Submission-time views precede the run;
+                                // every supervised worker starts healthy.
+                                health: slot.supervise.as_ref().map(|_| HealthState::Healthy),
                             }
                         })
                         .collect(),
@@ -1010,6 +1044,7 @@ impl Cluster {
                     accepted: &s.accepted,
                     faults: &s.faults,
                     checkpoint: s.checkpoint,
+                    supervise: s.supervise.as_ref(),
                 })
                 .collect();
             execute_cluster(&specs, bus_seed, Arc::clone(&self.policy))
@@ -1029,12 +1064,29 @@ impl Cluster {
                 )
             })
             .collect();
+        let mut health = HealthReport::default();
+        for (j, job) in jobs.iter().enumerate() {
+            health.merge_from(j, job.health.clone());
+        }
+        let mut service = self.service.finish();
+        if let Some(svc) = &mut service {
+            // Fold in-run (late) rejections into the by-kind counters so
+            // every error path — worker-down drains included — is
+            // attributed. No double count: the metrics layer saw these as
+            // accepted at submission time.
+            for job in &jobs {
+                for r in &job.rejected {
+                    *svc.rejections_by_kind.entry(r.error.kind()).or_default() += 1;
+                }
+            }
+        }
         ClusterReport {
             policy: self.policy.name(),
             jobs,
             rejected: self.rejected,
             events_processed,
-            service: self.service.finish(),
+            service,
+            health,
         }
     }
 }
@@ -1044,7 +1096,7 @@ impl Cluster {
 /// total events processed).
 ///
 /// ```
-/// use freeride_core::{Cluster, ClusterJob, FirstFit, Submission};
+/// use freeride_core::{Cluster, ClusterJob, FirstFit, Submission, SubmitOptions};
 /// use freeride_pipeline::{ModelSpec, PipelineConfig};
 /// use freeride_tasks::WorkloadKind;
 ///
@@ -1054,7 +1106,9 @@ impl Cluster {
 ///     ))
 ///     .policy(FirstFit)
 ///     .build();
-/// cluster.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+/// cluster
+///     .submit_with(Submission::new(WorkloadKind::PageRank), SubmitOptions::new())
+///     .unwrap();
 /// let report = cluster.run();
 ///
 /// // Cluster-wide aggregates: events across all jobs, the paper's
@@ -1080,6 +1134,11 @@ pub struct ClusterReport {
     /// when middleware layers were registered
     /// ([`ClusterBuilder::layer`]).
     pub service: Option<ServiceReport>,
+    /// Fleet-wide health log, merged across jobs with supervisors armed
+    /// ([`ClusterJob::supervise`]): every detector transition
+    /// (job-stamped), time-to-detect/time-to-recover samples, migration
+    /// and hedge counters. Empty when no job is supervised.
+    pub health: HealthReport,
 }
 
 impl ClusterReport {
@@ -1157,8 +1216,18 @@ mod tests {
     #[test]
     fn first_fit_piles_onto_the_first_fitting_slot() {
         let mut c = two_job_cluster(FirstFit);
-        let a = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
-        let b = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        let a = c
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap();
+        let b = c
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap();
         assert_eq!((a.job(), b.job()), (0, 0));
         let report = c.run();
         // Pinned placement: both on the first worker that fits PageRank.
@@ -1171,7 +1240,13 @@ mod tests {
     fn least_loaded_spreads_across_slots() {
         let mut c = two_job_cluster(LeastLoaded);
         let handles: Vec<_> = (0..4)
-            .map(|_| c.submit(Submission::new(WorkloadKind::PageRank)).unwrap())
+            .map(|_| {
+                c.submit_with(
+                    Submission::new(WorkloadKind::PageRank),
+                    SubmitOptions::new(),
+                )
+                .unwrap()
+            })
             .collect();
         let report = c.run();
         let mut placements: Vec<(usize, usize)> = handles
@@ -1189,9 +1264,12 @@ mod tests {
         let mut c = two_job_cluster(FirstFit);
         let global_best = c.view().best_free();
         let err = c
-            .submit(Submission::custom("huge", MemBytes::from_gib(64), |seed| {
-                WorkloadKind::PageRank.build(seed)
-            }))
+            .submit_with(
+                Submission::custom("huge", MemBytes::from_gib(64), |seed| {
+                    WorkloadKind::PageRank.build(seed)
+                }),
+                SubmitOptions::new(),
+            )
             .unwrap_err();
         assert_eq!(
             err,
@@ -1209,9 +1287,24 @@ mod tests {
     #[test]
     fn min_tasks_job_balances_jobs_not_workers() {
         let mut c = two_job_cluster(MinTasksJob);
-        let a = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
-        let b = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
-        let d = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        let a = c
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap();
+        let b = c
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap();
+        let d = c
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap();
         // Round-robin across jobs by admitted count: 0, 1, 0.
         assert_eq!((a.job(), b.job(), d.job()), (0, 1, 0));
         let report = c.run();
@@ -1235,7 +1328,12 @@ mod tests {
             .policy(FastestFit)
             .cost_report(false)
             .build();
-        let h = c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+        let h = c
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap();
         assert_eq!(h.job(), 1);
         // The view exposes per-worker hardware for policies to rank by.
         let view = c.view();
@@ -1260,7 +1358,10 @@ mod tests {
             let mut c = two_job_cluster(FirstFit); // policy unused below
             let view = c.view();
             let p = policy.place(MemBytes::from_gib(4), &view);
-            let _ = c.submit(Submission::new(WorkloadKind::PageRank));
+            let _ = c.submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            );
             p
         };
         assert_eq!(place(&FastestFit), place(&FirstFit));
@@ -1271,7 +1372,11 @@ mod tests {
     fn report_aggregates_events_and_steps() {
         let mut c = two_job_cluster(MinTasksJob);
         for _ in 0..2 {
-            c.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+            c.submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap();
         }
         let report = c.run();
         assert_eq!(
@@ -1309,10 +1414,16 @@ mod tests {
         );
         assert_eq!(c.job_config(1).mode, ColocationMode::Mps);
         assert_eq!(c.job_config(0).seed, 11);
-        c.submit_to_job(0, Submission::new(WorkloadKind::PageRank))
-            .unwrap();
-        c.submit_to_job(1, Submission::new(WorkloadKind::PageRank))
-            .unwrap();
+        c.submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new().affinity(0),
+        )
+        .unwrap();
+        c.submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new().affinity(1),
+        )
+        .unwrap();
         let report = c.run();
         assert_eq!(
             report.jobs[0].mode,

@@ -34,6 +34,7 @@
 use crate::cluster::{Cluster, ClusterJob, MinTasksJob};
 use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
 use crate::fault::{FaultPlan, RetryPolicy, SubmitOptions};
+use crate::health::{HealthReport, Recovery, SupervisorConfig};
 use crate::manager::SubmitError;
 use crate::metrics::{evaluate, BubbleBreakdown, CostReport, TaskWork};
 use crate::orchestrator::{ColocationRun, ExecutionOutput, TaskSummary};
@@ -368,6 +369,7 @@ pub struct DeploymentBuilder {
     cfg: FreeRideConfig,
     faults: FaultPlan,
     checkpoint: Option<SimDuration>,
+    supervise: Option<SupervisorConfig>,
     cost_report: bool,
 }
 
@@ -378,6 +380,7 @@ impl DeploymentBuilder {
             cfg: FreeRideConfig::iterative(),
             faults: FaultPlan::new(),
             checkpoint: None,
+            supervise: None,
             cost_report: true,
         }
     }
@@ -468,6 +471,17 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Arms the health subsystem (see [`crate::ClusterJob::supervise`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SupervisorConfig::validate`].
+    pub fn supervise(mut self, cfg: SupervisorConfig) -> Self {
+        cfg.validate();
+        self.supervise = Some(cfg);
+        self
+    }
+
     /// Finishes configuration.
     pub fn build(self) -> Deployment {
         let mut job = ClusterJob::new(self.pipeline)
@@ -475,6 +489,9 @@ impl DeploymentBuilder {
             .faults(self.faults);
         if let Some(interval) = self.checkpoint {
             job = job.checkpoint(interval);
+        }
+        if let Some(cfg) = self.supervise {
+            job = job.supervise(cfg);
         }
         Deployment {
             cluster: Cluster::builder()
@@ -636,6 +653,7 @@ pub(crate) fn assemble_report(
         bubbles_reported: outcome.bubbles_reported,
         events_processed: outcome.events_processed,
         recoveries: outcome.recoveries,
+        health: outcome.health,
         baseline_time,
         cost,
     }
@@ -666,11 +684,18 @@ pub struct DeploymentReport {
     /// wall-clock to get the events/sec throughput tracked in
     /// `BENCH.json`.
     pub events_processed: u64,
-    /// Recovery latencies under the chaos layer: for each task that hit a
-    /// retryable fault, `(task, time from first failure to the admission
-    /// that stuck — or from worker crash to checkpoint-restore)`. Empty
-    /// without fault injection.
-    pub recoveries: Vec<(TaskId, SimDuration)>,
+    /// Recovery log under the chaos layer: for each task that hit a
+    /// retryable fault or lost its worker, the latency from first failure
+    /// to the admission that stuck, attributed to the mechanism that
+    /// recovered it ([`crate::RecoveryKind`]): retry resubmission, rejoin
+    /// restore, supervised migration, or a won hedge. Empty without fault
+    /// injection.
+    pub recoveries: Vec<Recovery>,
+    /// What the health subsystem observed, when a supervisor was armed
+    /// ([`DeploymentBuilder::supervise`]): detector transitions,
+    /// time-to-detect/time-to-recover, migrations, hedge outcomes. Empty
+    /// (see [`HealthReport::is_empty`]) otherwise.
+    pub health: HealthReport,
     /// `T_noSideTask` under the same pipeline and schedule, when the cost
     /// report was enabled.
     pub baseline_time: Option<SimDuration>,

@@ -41,6 +41,14 @@
 //!   ([`ServiceMetrics`]) reporting latency-to-placement histograms and
 //!   per-tenant/per-layer rejection counts in
 //!   [`ClusterReport::service`];
+//! * the **health subsystem** ([`Supervisor`]): a deterministic
+//!   sim-time failure detector ([`FailureDetector`]) fed by worker
+//!   heartbeats over the RPC bus, driving `Healthy → Suspect → Dead`
+//!   transitions that drain workers ([`WorkerView::health`]), trigger
+//!   proactive checkpoint migration off failing workers, hedge
+//!   stragglers with speculative duplicates, and adapt admission under
+//!   overload ([`AdaptiveAdmission`], [`Brownout`]) — all reported in
+//!   [`ClusterReport::health`];
 //! * the **orchestrator** wiring the instrumented pipeline trainers,
 //!   managers, and workers together over one latency-modelled RPC bus
 //!   with a job-qualified endpoint namespace (driven by
@@ -76,6 +84,7 @@ mod cluster;
 mod config;
 mod deployment;
 mod fault;
+mod health;
 mod manager;
 mod metrics;
 mod orchestrator;
@@ -95,6 +104,10 @@ pub use deployment::{
     Deployment, DeploymentBuilder, DeploymentReport, RejectedSubmission, Submission, TaskHandle,
 };
 pub use fault::{CircuitBreaker, FaultEvent, FaultKind, FaultPlan, RetryPolicy, SubmitOptions};
+pub use health::{
+    AdaptiveAdmission, Brownout, FailureDetector, HealthReport, HealthState, HealthTransition,
+    Recovery, RecoveryKind, Supervisor, SupervisorConfig,
+};
 pub use manager::{ManagerCmd, SideTaskManager, SubmitError, WorkerMeta, WorkerPolicy};
 pub use metrics::{
     evaluate, time_increase, BreakdownFractions, BubbleBreakdown, CostReport, TaskWork,

@@ -33,6 +33,9 @@ use crate::cluster::{Placement, PlacementPolicy};
 use crate::config::{ColocationMode, FreeRideConfig, InterfaceKind};
 use crate::deployment::{AcceptedSubmission, Deployment, RejectedSubmission, Submission};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
+use crate::health::{
+    HealthReport, HealthState, Recovery, RecoveryKind, Supervisor, SupervisorConfig,
+};
 use crate::manager::{ManagerCmd, SideTaskManager, SubmitError};
 use crate::metrics::{BubbleBreakdown, TaskWork};
 use crate::state::SideTaskState;
@@ -127,6 +130,11 @@ enum Msg {
         task: TaskId,
         state: SideTaskState,
     },
+    /// A worker daemon's liveness beacon to the supervisor (health
+    /// subsystem; only sent when the job arms one).
+    Heartbeat {
+        worker: usize,
+    },
 }
 
 enum Ev {
@@ -158,6 +166,12 @@ enum Ev {
     FaultEnd(usize),
     /// Periodic side-task progress snapshot (checkpoint/restart).
     Checkpoint,
+    /// A worker daemon's heartbeat emission is due (health subsystem).
+    Heartbeat(usize),
+    /// The supervisor re-evaluates every worker's suspicion score.
+    HealthCheck,
+    /// The supervisor scans for straggling side tasks to hedge.
+    HedgeCheck,
 }
 
 /// A per-job event in the cluster-wide queue: the job index plus that
@@ -264,11 +278,24 @@ struct JobRuntime {
     restore_subs: BTreeMap<TaskId, (Submission, WorkloadProfile, TaskId)>,
     /// Allocator for `RESTORE_ID_BASE`-range restore ids.
     next_restore_id: u64,
-    /// Recovery latencies: (task, first failure/crash → re-admission).
-    recoveries: Vec<(TaskId, SimDuration)>,
+    /// Recovery log: task, first failure/crash → re-admission latency,
+    /// and the mechanism that recovered it.
+    recoveries: Vec<Recovery>,
     /// First retryable rejection per retried arrival (recovery latency
     /// numerator for the retry mechanism).
     first_failure: BTreeMap<TaskId, SimTime>,
+
+    // --- health subsystem (all `None`/empty when no supervisor is armed) ---
+    /// The job's supervision layer: failure detector + drain state.
+    supervisor: Option<Supervisor>,
+    /// Live hedge races: original task id → (speculative duplicate id,
+    /// hedge launch time).
+    hedges: BTreeMap<TaskId, (TaskId, SimTime)>,
+    /// Losing incarnations to cancel with [`StopReason::HedgeLost`] when
+    /// their Stop command lands.
+    hedge_cancel: BTreeSet<TaskId>,
+    /// Resolved hedge races: (original, duplicate, duplicate won).
+    hedge_outcome: Vec<(TaskId, TaskId, bool)>,
 }
 
 impl JobRuntime {
@@ -385,6 +412,9 @@ impl JobRuntime {
             return;
         }
         self.stops_issued = true;
+        // Settle hedge races before the stops go out, so a losing
+        // incarnation's Stop lands as a hedge cancellation.
+        self.resolve_hedges(now);
         let cmds = if self.is_freeride() {
             self.manager.stop_all()
         } else {
@@ -464,6 +494,14 @@ impl JobRuntime {
         self.down_until[worker].is_some_and(|t| now < t)
     }
 
+    /// Whether the supervisor has drained `worker` (Suspect or Dead): the
+    /// admission plane routes around it until a heartbeat restores it.
+    fn drained(&self, worker: usize) -> bool {
+        self.supervisor
+            .as_ref()
+            .is_some_and(|s| s.is_drained(worker))
+    }
+
     /// The admission half of an online arrival, with the chaos overlays
     /// layered on Algorithm 1: a transient-OOM window rejects outright,
     /// downed workers reject `WorkerDown`, circuit-broken workers reject
@@ -485,7 +523,7 @@ impl JobRuntime {
             });
         }
         if let Some(w) = slot.pinned {
-            if self.worker_down(now, w) {
+            if self.worker_down(now, w) || self.drained(w) {
                 return Err(SubmitError::WorkerDown { worker: w });
             }
             if policy.blocks(now, self.job, w) {
@@ -494,7 +532,7 @@ impl JobRuntime {
             return self.manager.submit_to(slot.id, mem, w);
         }
         let blocked: Vec<bool> = (0..self.workers.len())
-            .map(|w| self.worker_down(now, w) || policy.blocks(now, self.job, w))
+            .map(|w| self.worker_down(now, w) || self.drained(w) || policy.blocks(now, self.job, w))
             .collect();
         if !blocked.iter().any(|&b| b) {
             return self.manager.submit(slot.id, mem);
@@ -506,7 +544,7 @@ impl JobRuntime {
         // fault that blocked it; otherwise it is a plain capacity miss.
         for (w, &b) in blocked.iter().enumerate() {
             if b && self.manager.worker(w).gpu_mem > mem {
-                return Err(if self.worker_down(now, w) {
+                return Err(if self.worker_down(now, w) || self.drained(w) {
                     SubmitError::WorkerDown { worker: w }
                 } else {
                     SubmitError::CircuitOpen { worker: w }
@@ -540,7 +578,11 @@ impl JobRuntime {
                 // A retried arrival landing at last closes its recovery
                 // window (first rejection → successful admission).
                 if let Some(first) = self.first_failure.remove(&slot.id) {
-                    self.recoveries.push((slot.id, now.saturating_since(first)));
+                    self.recoveries.push(Recovery {
+                        task: slot.id,
+                        latency: now.saturating_since(first),
+                        kind: RecoveryKind::Resubmit,
+                    });
                 }
                 policy.on_outcome(
                     now,
@@ -634,6 +676,12 @@ impl JobRuntime {
                     }
                 }
                 self.down_until[worker] = Some(now + down_for);
+                // Ground truth for the detector's time-to-detect metric:
+                // the supervisor learns of the crash only via missing
+                // heartbeats.
+                if let Some(sup) = &mut self.supervisor {
+                    sup.note_crash(now, worker);
+                }
                 policy.on_outcome(
                     now,
                     Placement::Worker {
@@ -736,32 +784,129 @@ impl JobRuntime {
             let Some((sub, profile, root)) = self.restore_subs.get(&l.orig).cloned() else {
                 continue; // not rebuildable (no submission source)
             };
-            let new_id = TaskId(RESTORE_ID_BASE | self.next_restore_id);
-            self.next_restore_id += 1;
             // It fit on this worker before the crash, so re-admit it
             // there unconditionally; restarts replay the same placement.
-            let cmd = self.manager.admit_to(new_id, profile.gpu_mem, worker);
-            let mut task = SideTask::new(
-                new_id,
-                sub.tag().clone(),
-                profile,
-                self.interface,
-                sub.build_workload(self.cfg.seed ^ root.0),
+            self.respawn_lost(
                 now,
-            )
-            .with_misbehavior(sub.misbehavior());
-            task.steps = l.steps;
-            self.pending_create.insert(new_id, task);
-            self.placements
-                .push((new_id, worker, sub.tag().clone(), profile));
-            self.restored.insert(l.orig, new_id);
-            self.restore_subs.insert(new_id, (sub, profile, root));
-            self.ckpt_steps.insert(new_id, l.steps);
-            self.recoveries
-                .push((l.orig, now.saturating_since(l.crashed_at)));
-            let to = self.ep_workers[worker];
-            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
+                l,
+                worker,
+                sub,
+                profile,
+                root,
+                RecoveryKind::Rejoin,
+                bus,
+                s,
+            );
         }
+    }
+
+    /// The supervisor's proactive half: a worker turned Suspect/Dead, so
+    /// move its checkpointed lost tasks to healthy workers *now* instead
+    /// of waiting for the daemon to rejoin. Tasks with no healthy host
+    /// stay queued for the rejoin restore.
+    fn migrate_lost_tasks(
+        &mut self,
+        now: SimTime,
+        from: usize,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        let mut to_move = Vec::new();
+        self.lost.retain(|l| {
+            if l.worker == from {
+                to_move.push(*l);
+                false
+            } else {
+                true
+            }
+        });
+        for l in to_move {
+            let Some((sub, profile, root)) = self.restore_subs.get(&l.orig).cloned() else {
+                continue; // not rebuildable (no submission source)
+            };
+            let Some(target) = self.migration_target(profile.gpu_mem, from, now) else {
+                self.lost.push(l); // no healthy host: wait for the rejoin
+                continue;
+            };
+            self.respawn_lost(
+                now,
+                l,
+                target,
+                sub,
+                profile,
+                root,
+                RecoveryKind::Migration,
+                bus,
+                s,
+            );
+            if let Some(sup) = &mut self.supervisor {
+                sup.record_migration();
+            }
+        }
+    }
+
+    /// The least-loaded healthy worker (not drained, not down, not the
+    /// failing one) whose bubble memory fits `needed`; ties break toward
+    /// the lower index, deterministically.
+    fn migration_target(&self, needed: MemBytes, exclude: usize, now: SimTime) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (task_count, worker)
+        for w in 0..self.workers.len() {
+            if w == exclude || self.worker_down(now, w) || self.drained(w) {
+                continue;
+            }
+            if self.manager.worker(w).gpu_mem <= needed {
+                continue;
+            }
+            let n = self.manager.worker(w).task_count();
+            if best.is_none_or(|(bn, _)| n < bn) {
+                best = Some((n, w));
+            }
+        }
+        best.map(|(_, w)| w)
+    }
+
+    /// Re-admits one lost task onto `target` under a fresh restore-range
+    /// id, resuming from its checkpointed steps — the shared tail of the
+    /// rejoin-restore and supervised-migration paths.
+    #[allow(clippy::too_many_arguments)]
+    fn respawn_lost(
+        &mut self,
+        now: SimTime,
+        l: LostTask,
+        target: usize,
+        sub: Submission,
+        profile: WorkloadProfile,
+        root: TaskId,
+        kind: RecoveryKind,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        let new_id = TaskId(RESTORE_ID_BASE | self.next_restore_id);
+        self.next_restore_id += 1;
+        let cmd = self.manager.admit_to(new_id, profile.gpu_mem, target);
+        let mut task = SideTask::new(
+            new_id,
+            sub.tag().clone(),
+            profile,
+            self.interface,
+            sub.build_workload(self.cfg.seed ^ root.0),
+            now,
+        )
+        .with_misbehavior(sub.misbehavior());
+        task.steps = l.steps;
+        self.pending_create.insert(new_id, task);
+        self.placements
+            .push((new_id, target, sub.tag().clone(), profile));
+        self.restored.insert(l.orig, new_id);
+        self.restore_subs.insert(new_id, (sub, profile, root));
+        self.ckpt_steps.insert(new_id, l.steps);
+        self.recoveries.push(Recovery {
+            task: l.orig,
+            latency: now.saturating_since(l.crashed_at),
+            kind,
+        });
+        let to = self.ep_workers[target];
+        self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
     }
 
     /// Periodic checkpoint snapshot: record every live task's step count
@@ -782,6 +927,234 @@ impl JobRuntime {
         }
         let ev = self.ev(Ev::Checkpoint);
         s.schedule_after(interval, ev);
+    }
+
+    /// A worker daemon's heartbeat emission is due. A downed daemon stays
+    /// silent (the whole point of the detector); a straggling one emits
+    /// proportionally slower, so the suspicion score rises with the
+    /// slowdown. The beacon rides the RPC bus, so `rpc_spike` latency
+    /// delays its delivery and perturbs the score too.
+    fn handle_heartbeat(
+        &mut self,
+        now: SimTime,
+        worker: usize,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        if self.supervisor.is_none() || self.finished() {
+            return; // chain dies with the run, so the sim can drain
+        }
+        if !self.worker_down(now, worker) {
+            let from = self.ep_workers[worker];
+            let to = self.ep_manager;
+            self.send(now, from, to, Msg::Heartbeat { worker }, bus, s);
+        }
+        let interval = self
+            .supervisor
+            .as_ref()
+            .expect("checked above")
+            .cfg()
+            .heartbeat_interval;
+        let base = self.base_speeds[worker];
+        let speed = self.devices[worker].compute_speed();
+        let next = if speed < base {
+            SimDuration::from_secs_f64(interval.as_secs_f64() * base / speed)
+        } else {
+            interval
+        };
+        let ev = self.ev(Ev::Heartbeat(worker));
+        s.schedule_after(next, ev);
+    }
+
+    /// The supervisor re-evaluates every worker's suspicion score. A
+    /// worker turning Suspect (when configured) or Dead gets its
+    /// checkpointed lost tasks migrated to healthy workers immediately.
+    fn handle_health_check(
+        &mut self,
+        now: SimTime,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        if self.finished() {
+            return;
+        }
+        let Some(sup) = &mut self.supervisor else {
+            return;
+        };
+        let transitions = sup.check(now);
+        let interval = sup.cfg().heartbeat_interval;
+        let migrate_on_suspect = sup.cfg().migrate_on_suspect;
+        for tr in transitions {
+            let evict = match tr.to {
+                HealthState::Suspect => migrate_on_suspect,
+                HealthState::Dead => true,
+                HealthState::Healthy => false,
+            };
+            if evict && self.ckpt_interval.is_some() && !self.stops_issued && !self.training_done {
+                self.migrate_lost_tasks(now, tr.worker, bus, s);
+            }
+        }
+        let ev = self.ev(Ev::HealthCheck);
+        s.schedule_after(interval, ev);
+    }
+
+    /// The supervisor scans for straggling side tasks to hedge.
+    fn handle_hedge_check(
+        &mut self,
+        now: SimTime,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        let Some(sup) = &self.supervisor else {
+            return;
+        };
+        let Some(threshold) = sup.cfg().hedge_threshold else {
+            return;
+        };
+        if self.finished() {
+            return;
+        }
+        let interval = sup.cfg().hedge_interval;
+        if !self.stops_issued && !self.training_done {
+            self.hedge_laggards(now, threshold, bus, s);
+        }
+        let ev = self.ev(Ev::HedgeCheck);
+        s.schedule_after(interval, ev);
+    }
+
+    /// Straggler hedging: find live side tasks whose progress fell below
+    /// `threshold` of the fleet median and launch a speculative duplicate
+    /// of each on the fastest healthy worker. First completion wins; the
+    /// loser is cancelled with [`StopReason::HedgeLost`].
+    fn hedge_laggards(
+        &mut self,
+        now: SimTime,
+        threshold: f64,
+        bus: &mut RpcBus,
+        s: &mut Scheduler<'_, ClusterEv>,
+    ) {
+        // Progress of every live, original-id task (restored incarnations
+        // and duplicates sit in the reserved high id range and never
+        // trigger a second hedge).
+        let mut progress: Vec<(TaskId, usize, u64)> = Vec::new();
+        for (wi, w) in self.workers.iter().enumerate() {
+            for t in w.tasks() {
+                if t.is_stopped() || t.id.0 >= RESTORE_ID_BASE {
+                    continue;
+                }
+                progress.push((t.id, wi, t.steps));
+            }
+        }
+        if progress.len() < 2 {
+            return; // a median needs a fleet to lag behind
+        }
+        let mut steps: Vec<u64> = progress.iter().map(|p| p.2).collect();
+        steps.sort_unstable();
+        let median = steps[steps.len() / 2];
+        if median == 0 {
+            return;
+        }
+        let cut = threshold * median as f64;
+        progress.sort_unstable_by_key(|p| p.0); // deterministic hedge order
+        for (id, wi, st) in progress {
+            if (st as f64) >= cut || self.hedges.contains_key(&id) {
+                continue;
+            }
+            let Some((sub, profile, root)) = self.restore_subs.get(&id).cloned() else {
+                continue; // not rebuildable (no submission source)
+            };
+            let Some(target) = self.hedge_target(profile.gpu_mem, wi, now) else {
+                continue; // no healthy worker to speculate on
+            };
+            let dup = TaskId(RESTORE_ID_BASE | self.next_restore_id);
+            self.next_restore_id += 1;
+            let cmd = self.manager.admit_to(dup, profile.gpu_mem, target);
+            // The duplicate reruns the same workload (same derived seed)
+            // from step zero — speculation, not checkpoint resumption.
+            let task = SideTask::new(
+                dup,
+                sub.tag().clone(),
+                profile,
+                self.interface,
+                sub.build_workload(self.cfg.seed ^ root.0),
+                now,
+            )
+            .with_misbehavior(sub.misbehavior());
+            self.pending_create.insert(dup, task);
+            self.placements
+                .push((dup, target, sub.tag().clone(), profile));
+            self.restore_subs.insert(dup, (sub, profile, root));
+            self.hedges.insert(id, (dup, now));
+            let to = self.ep_workers[target];
+            self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
+        }
+    }
+
+    /// The fastest healthy worker (excluding the laggard's own) whose
+    /// bubble memory fits `needed`. Ties break toward fewer queued tasks,
+    /// then the lower index — the deterministic tie-break hedge races
+    /// resolve by.
+    fn hedge_target(&self, needed: MemBytes, exclude: usize, now: SimTime) -> Option<usize> {
+        let mut best: Option<(f64, usize, usize)> = None; // (speed, tasks, worker)
+        for w in 0..self.workers.len() {
+            if w == exclude || self.worker_down(now, w) || self.drained(w) {
+                continue;
+            }
+            if self.manager.worker(w).gpu_mem <= needed {
+                continue;
+            }
+            let speed = self.devices[w].compute_speed();
+            let n = self.manager.worker(w).task_count();
+            if best.is_none_or(|(bs, bn, _)| speed > bs || (speed == bs && n < bn)) {
+                best = Some((speed, n, w));
+            }
+        }
+        best.map(|(_, _, w)| w)
+    }
+
+    /// Settles every open hedge race at shutdown: the incarnation with
+    /// more harvested steps wins (a real completion beats a lost one by
+    /// construction — a dead incarnation stopped accruing); ties break
+    /// toward the lower worker index. The loser's Stop is downgraded to a
+    /// hedge cancellation.
+    fn resolve_hedges(&mut self, now: SimTime) {
+        if self.hedges.is_empty() {
+            return;
+        }
+        let worker_of: BTreeMap<TaskId, usize> = self
+            .placements
+            .iter()
+            .map(|(id, w, _, _)| (*id, *w))
+            .collect();
+        let chase = |mut cur: TaskId| {
+            while let Some(&next) = self.restored.get(&cur) {
+                cur = next;
+            }
+            cur
+        };
+        let hedges = std::mem::take(&mut self.hedges);
+        for (&orig, &(dup, launched)) in &hedges {
+            let o_cur = chase(orig);
+            let d_cur = chase(dup);
+            let o_w = worker_of[&o_cur];
+            let d_w = worker_of[&d_cur];
+            let live_steps =
+                |cur: TaskId, w: usize| self.workers[w].task(cur).map(|t| t.steps).unwrap_or(0);
+            let o_steps = live_steps(o_cur, o_w);
+            let d_steps = live_steps(d_cur, d_w);
+            let dup_won = d_steps > o_steps || (d_steps == o_steps && d_w < o_w);
+            self.hedge_cancel
+                .insert(if dup_won { o_cur } else { d_cur });
+            self.hedge_outcome.push((orig, dup, dup_won));
+            if dup_won {
+                self.recoveries.push(Recovery {
+                    task: orig,
+                    latency: now.saturating_since(launched),
+                    kind: RecoveryKind::Hedge,
+                });
+            }
+        }
+        self.hedges = hedges;
     }
 
     fn apply_worker_effects(
@@ -895,7 +1268,11 @@ impl JobRuntime {
                 self.workers[wi].handle_pause(now, task, &mut self.devices[wi])
             }
             ManagerCmd::Stop { task, .. } => {
-                self.workers[wi].handle_stop(now, task, &mut self.devices[wi])
+                if self.hedge_cancel.contains(&task) {
+                    self.workers[wi].cancel(now, task, &mut self.devices[wi])
+                } else {
+                    self.workers[wi].handle_stop(now, task, &mut self.devices[wi])
+                }
             }
         };
         self.apply_worker_effects(now, wi, effects, bus, s);
@@ -944,6 +1321,9 @@ impl JobRuntime {
             Ev::Fault(idx) => self.handle_fault(now, idx, bus, policy, s),
             Ev::FaultEnd(idx) => self.handle_fault_end(now, idx, bus, s),
             Ev::Checkpoint => self.handle_checkpoint(s),
+            Ev::Heartbeat(w) => self.handle_heartbeat(now, w, bus, s),
+            Ev::HealthCheck => self.handle_health_check(now, bus, s),
+            Ev::HedgeCheck => self.handle_hedge_check(now, bus, s),
             Ev::Deliver(env) => match env.msg {
                 Msg::Bubble(r) => {
                     self.bubbles_reported += 1;
@@ -971,6 +1351,11 @@ impl JobRuntime {
                     self.manager.on_task_state(worker, task, state);
                     self.stop_straggler(now, worker, task, state, bus, s);
                     self.run_manager_poll(now, bus, s);
+                }
+                Msg::Heartbeat { worker } => {
+                    if let Some(sup) = &mut self.supervisor {
+                        sup.on_heartbeat(now, worker);
+                    }
                 }
             },
             Ev::InitDone { worker, task } => {
@@ -1052,7 +1437,8 @@ pub(crate) struct ExecutionOutput {
     pub(crate) bubbles_reported: u64,
     pub(crate) late_rejected: Vec<(TaskId, SubmitError)>,
     pub(crate) events_processed: u64,
-    pub(crate) recoveries: Vec<(TaskId, SimDuration)>,
+    pub(crate) recoveries: Vec<Recovery>,
+    pub(crate) health: HealthReport,
 }
 
 /// One job of a cluster execution: its pipeline, middleware config, the
@@ -1063,6 +1449,7 @@ pub(crate) struct JobExecSpec<'a> {
     pub(crate) accepted: &'a [AcceptedSubmission],
     pub(crate) faults: &'a FaultPlan,
     pub(crate) checkpoint: Option<SimDuration>,
+    pub(crate) supervise: Option<&'a SupervisorConfig>,
 }
 
 /// Runs N pipeline-training jobs co-located with their accepted
@@ -1219,11 +1606,12 @@ pub(crate) fn execute_cluster(
             }
         }
 
-        // Under checkpoint/restart, keep every submission's source so a
-        // task lost to a daemon crash can be rebuilt (same workload seed,
-        // resumed step count).
+        // Under checkpoint/restart or supervision, keep every submission's
+        // source so a task lost to a daemon crash can be rebuilt (same
+        // workload seed, resumed step count) and a straggler can be
+        // speculatively duplicated.
         let restore_subs: BTreeMap<TaskId, (Submission, WorkloadProfile, TaskId)> =
-            if spec.checkpoint.is_some() {
+            if spec.checkpoint.is_some() || spec.supervise.is_some() {
                 spec.accepted
                     .iter()
                     .map(|acc| (acc.id, (acc.submission.clone(), acc.profile, acc.id)))
@@ -1263,6 +1651,12 @@ pub(crate) fn execute_cluster(
             next_restore_id: 0,
             recoveries: Vec::new(),
             first_failure: BTreeMap::new(),
+            supervisor: spec
+                .supervise
+                .map(|cfg| Supervisor::new(pipeline_cfg.stages, cfg)),
+            hedges: BTreeMap::new(),
+            hedge_cancel: BTreeSet::new(),
+            hedge_outcome: Vec::new(),
             devices: world_devices,
             engine,
             manager,
@@ -1402,6 +1796,41 @@ pub(crate) fn execute_cluster(
         }
     }
 
+    // Supervisor seeds come after even the chaos schedule, so arming the
+    // health subsystem never perturbs the event-id sequence of the other
+    // configurations.
+    for (j, spec) in jobs.iter().enumerate() {
+        let Some(cfg) = spec.supervise else {
+            continue;
+        };
+        let first = SimTime::ZERO + cfg.heartbeat_interval;
+        for w in 0..spec.pipeline.stages {
+            sim.seed_at(
+                first,
+                ClusterEv {
+                    job: j,
+                    ev: Ev::Heartbeat(w),
+                },
+            );
+        }
+        sim.seed_at(
+            first,
+            ClusterEv {
+                job: j,
+                ev: Ev::HealthCheck,
+            },
+        );
+        if cfg.hedge_threshold.is_some() {
+            sim.seed_at(
+                SimTime::ZERO + cfg.hedge_interval,
+                ClusterEv {
+                    job: j,
+                    ev: Ev::HedgeCheck,
+                },
+            );
+        }
+    }
+
     let outcome = sim.run_to_quiescence();
     assert_eq!(outcome, RunOutcome::Quiescent, "run must drain");
     let world = sim.into_world();
@@ -1418,6 +1847,11 @@ pub(crate) fn execute_cluster(
             // from the tail of its restore chain, reported under the id
             // the submitter knows.
             let restore_ids: BTreeSet<TaskId> = job.restored.values().copied().collect();
+            let worker_of: BTreeMap<TaskId, usize> = job
+                .placements
+                .iter()
+                .map(|(id, w, _, _)| (*id, *w))
+                .collect();
             let mut tasks = Vec::new();
             for (id, wi, tag, profile) in &job.placements {
                 if restore_ids.contains(id) {
@@ -1425,13 +1859,14 @@ pub(crate) fn execute_cluster(
                 }
                 let mut cur = *id;
                 while let Some(&next) = job.restored.get(&cur) {
-                    cur = next; // restores land on the same worker
+                    cur = next; // supervised migration may move the chain
                 }
-                match job.workers[*wi].task(cur) {
+                let tail_worker = worker_of.get(&cur).copied().unwrap_or(*wi);
+                match job.workers[tail_worker].task(cur) {
                     Some(t) => tasks.push(TaskSummary {
                         id: *id,
                         kind: tag.clone(),
-                        worker: *wi,
+                        worker: tail_worker,
                         steps: t.steps,
                         final_state: t.state(),
                         stop_reason: t.stop_reason,
@@ -1465,6 +1900,18 @@ pub(crate) fn execute_cluster(
                 breakdown.insufficient += acc.insufficient;
             }
 
+            let mut health = job
+                .supervisor
+                .map(Supervisor::into_report)
+                .unwrap_or_default();
+            for &(_, _, dup_won) in &job.hedge_outcome {
+                if dup_won {
+                    health.hedge_wins += 1;
+                } else {
+                    health.hedge_losses += 1;
+                }
+            }
+
             ExecutionOutput {
                 total_time: job.engine.total_time(),
                 epoch_times: job.engine.epoch_times().to_vec(),
@@ -1475,6 +1922,7 @@ pub(crate) fn execute_cluster(
                 late_rejected: job.late_rejected,
                 events_processed: job.events_processed,
                 recoveries: job.recoveries,
+                health,
             }
         })
         .collect()

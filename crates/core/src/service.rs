@@ -117,8 +117,12 @@ pub trait Next {
 ///     .cost_report(false)
 ///     .build();
 ///
-/// assert!(cluster.submit(Submission::new(WorkloadKind::PageRank)).is_ok());
-/// assert!(cluster.submit(Submission::new(WorkloadKind::PageRank)).is_err());
+/// assert!(cluster
+///     .submit_with(Submission::new(WorkloadKind::PageRank), SubmitOptions::new())
+///     .is_ok());
+/// assert!(cluster
+///     .submit_with(Submission::new(WorkloadKind::PageRank), SubmitOptions::new())
+///     .is_err());
 /// let report = cluster.run();
 /// let service = report.service.expect("a chain was registered");
 /// assert_eq!(service.layers[0].name, "shed-half");

@@ -57,6 +57,11 @@ pub enum StopReason {
     /// died with it. Under checkpoint/restart the orchestrator re-admits
     /// the task when the worker recovers.
     WorkerLost,
+    /// The task lost a straggler-hedging race: a speculative duplicate
+    /// (or the original it duplicated) finished first, so the supervisor
+    /// cancelled this incarnation. See
+    /// [`SupervisorConfig::hedge`](crate::SupervisorConfig::hedge).
+    HedgeLost,
 }
 
 /// A side task as owned by its worker.

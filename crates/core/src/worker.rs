@@ -288,6 +288,19 @@ impl Worker {
         self.kill(now, id, StopReason::Finished, device)
     }
 
+    /// Cancels a task that lost a straggler-hedging race: same teardown as
+    /// [`Worker::handle_stop`], but the task is marked
+    /// [`StopReason::HedgeLost`] so reports attribute the cancelled
+    /// incarnation to the hedge instead of an orderly finish.
+    pub fn cancel(
+        &mut self,
+        now: SimTime,
+        id: TaskId,
+        device: &mut GpuDevice,
+    ) -> Vec<WorkerEffect> {
+        self.kill(now, id, StopReason::HedgeLost, device)
+    }
+
     /// The framework-enforced check (§4.5): `SIGKILL` a task that failed
     /// to pause (or finish init) within the grace period.
     pub fn grace_check(

@@ -83,7 +83,10 @@ fn run(armed: bool) -> ClusterReport {
     // window, one while worker 1 is down.
     for _ in 0..2 {
         cluster
-            .submit(Submission::new(WorkloadKind::PageRank))
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
             .expect("up-front tasks fit");
     }
     let _ = cluster.submit_with(
@@ -112,8 +115,11 @@ fn describe(label: &str, report: &ClusterReport) {
         lost,
         job.recoveries.len()
     );
-    for (id, latency) in &job.recoveries {
-        println!("          recovered task {id:?} after {latency}");
+    for r in &job.recoveries {
+        println!(
+            "          recovered task {:?} after {} via {}",
+            r.task, r.latency, r.kind
+        );
     }
 }
 

@@ -45,7 +45,7 @@ fn main() {
     ] {
         handles.push(
             cluster
-                .submit(Submission::new(kind))
+                .submit_with(Submission::new(kind), SubmitOptions::new())
                 .expect("fits somewhere"),
         );
     }
@@ -53,18 +53,21 @@ fn main() {
     // One online arrival, mid-training.
     handles.push(
         cluster
-            .submit(Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(2_000)))
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(2_000)),
+                SubmitOptions::new(),
+            )
             .expect("online arrivals share the same front door"),
     );
 
     // Job 2 (6B) has cramped bubbles: a 12 GiB task cannot fit there, but
     // affinity submission spills over to a roomier job instead of failing.
     let spilled = cluster
-        .submit_to_job(
-            2,
+        .submit_with(
             Submission::custom("big-batch-inference", MemBytes::from_gib(12), |seed| {
                 WorkloadKind::ImageProc.build(seed)
             }),
+            SubmitOptions::new().affinity(2),
         )
         .expect("spillover finds room on another job");
     println!(

@@ -64,21 +64,36 @@ fn main() {
     // the reference job for contrast, and one online arrival.
     let mut handles = vec![
         cluster
-            .submit(Submission::new(WorkloadKind::PageRank))
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
             .expect("fits"),
         cluster
-            .submit(Submission::new(WorkloadKind::ResNet18))
+            .submit_with(
+                Submission::new(WorkloadKind::ResNet18),
+                SubmitOptions::new(),
+            )
             .expect("fits"),
         cluster
-            .submit_to_job(1, Submission::new(WorkloadKind::PageRank))
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new().affinity(1),
+            )
             .expect("fits"),
         cluster
-            .submit_to_job(1, Submission::new(WorkloadKind::ImageProc))
+            .submit_with(
+                Submission::new(WorkloadKind::ImageProc),
+                SubmitOptions::new().affinity(1),
+            )
             .expect("fits"),
     ];
     handles.push(
         cluster
-            .submit(Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(2_000)))
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(2_000)),
+                SubmitOptions::new(),
+            )
             .expect("online arrivals share the same front door"),
     );
 

@@ -66,16 +66,18 @@ pub use freeride_tasks as tasks;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use freeride_core::{
-        evaluate, run_baseline, run_colocation, time_increase, AdmissionControl, BestFitMemory,
-        BreakerState, CircuitBreaker, Cluster, ClusterBuilder, ClusterJob, ClusterReport,
-        ClusterTaskHandle, ClusterView, ColocationMode, ColocationRun, CostReport, DeadlineLayer,
-        Deployment, DeploymentBuilder, DeploymentReport, FastestFit, FaultEvent, FaultKind,
-        FaultPlan, FirstFit, FreeRideConfig, InterfaceKind, JobView, LatencyHistogram, LayerReport,
+        evaluate, run_baseline, run_colocation, time_increase, AdaptiveAdmission, AdmissionControl,
+        BestFitMemory, BreakerState, Brownout, CircuitBreaker, Cluster, ClusterBuilder, ClusterJob,
+        ClusterReport, ClusterTaskHandle, ClusterView, ColocationMode, ColocationRun, CostReport,
+        DeadlineLayer, Deployment, DeploymentBuilder, DeploymentReport, FailureDetector,
+        FastestFit, FaultEvent, FaultKind, FaultPlan, FirstFit, FreeRideConfig, HealthReport,
+        HealthState, HealthTransition, InterfaceKind, JobView, LatencyHistogram, LayerReport,
         LeastLoaded, MinTasksJob, Misbehavior, Next, Placement, PlacementPolicy, PriorityTag,
-        RateLimit, RateLimitMode, RejectedSubmission, RetryPolicy, ServiceMetrics, ServiceReport,
-        SideTaskManager, SideTaskState, StopReason, Submission, SubmitError, SubmitMiddleware,
-        SubmitOptions, TaskHandle, TaskId, TaskSummary, TenantQuota, TenantStats, Transition,
-        WorkerPolicy, WorkerView, DEFAULT_TENANT,
+        RateLimit, RateLimitMode, Recovery, RecoveryKind, RejectedSubmission, RetryPolicy,
+        ServiceMetrics, ServiceReport, SideTaskManager, SideTaskState, StopReason, Submission,
+        SubmitError, SubmitMiddleware, SubmitOptions, Supervisor, SupervisorConfig, TaskHandle,
+        TaskId, TaskSummary, TenantQuota, TenantStats, Transition, WorkerPolicy, WorkerView,
+        DEFAULT_TENANT,
     };
     pub use freeride_gpu::{GpuDevice, GpuId, HardwareSpec, MemBytes, Priority, SharingKind};
     pub use freeride_pipeline::{

@@ -110,7 +110,10 @@ fn run_cell(retry: bool, checkpoint: bool, breaker: bool) -> ClusterReport {
     // Two steady tasks, spread by Algorithm 1 onto workers 0 and 1.
     for _ in 0..2 {
         cluster
-            .submit(Submission::new(WorkloadKind::PageRank))
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
             .expect("up-front tasks fit");
     }
     // Arrives inside the OOM window (3.0–5.0s).
@@ -188,7 +191,12 @@ fn checkpoint_restores_the_crashed_task_and_changes_steps() {
     assert!(ckpt.jobs[0]
         .recoveries
         .iter()
-        .all(|(_, d)| *d > SimDuration::ZERO));
+        .all(|r| r.latency > SimDuration::ZERO));
+    // Both are daemon-rejoin restores, not supervised migrations.
+    assert!(ckpt.jobs[0]
+        .recoveries
+        .iter()
+        .all(|r| r.kind == RecoveryKind::Rejoin));
     // Checkpointing alone does not admit anything: the arrivals still
     // bounce.
     assert_eq!(ckpt.total_rejections(), 2);
@@ -217,8 +225,8 @@ fn breaker_sheds_the_flapping_worker_and_changes_steps() {
     );
     assert_eq!(breaker.total_rejections(), 0);
     // The deferred admission is reported as a (slower) recovery.
-    let worst = breaker.jobs[0].recoveries.iter().map(|(_, d)| *d).max();
-    let worst_retry = retry.jobs[0].recoveries.iter().map(|(_, d)| *d).max();
+    let worst = breaker.jobs[0].recoveries.iter().map(|r| r.latency).max();
+    let worst_retry = retry.jobs[0].recoveries.iter().map(|r| r.latency).max();
     assert!(
         worst > worst_retry,
         "shedding trades recovery latency for survival"

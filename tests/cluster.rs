@@ -38,11 +38,18 @@ fn four_job_cluster() -> Cluster {
         .cost_report(false)
         .build();
     for kind in [WorkloadKind::PageRank, WorkloadKind::ImageProc] {
-        cluster.submit(Submission::new(kind)).unwrap();
+        cluster
+            .submit_with(Submission::new(kind), SubmitOptions::new())
+            .unwrap();
     }
-    cluster.submit_to_job(2, task_of(3)).unwrap();
     cluster
-        .submit(Submission::new(WorkloadKind::ResNet18).at(SimTime::from_millis(500)))
+        .submit_with(task_of(3), SubmitOptions::new().affinity(2))
+        .unwrap();
+    cluster
+        .submit_with(
+            Submission::new(WorkloadKind::ResNet18).at(SimTime::from_millis(500)),
+            SubmitOptions::new(),
+        )
         .unwrap();
     cluster
 }
@@ -127,8 +134,12 @@ fn placement_policies_disagree_on_a_contended_cluster() {
             "least-loaded" => builder.policy(LeastLoaded).build(),
             other => panic!("unknown policy {other}"),
         };
-        let a = cluster.submit(task_of(8)).unwrap();
-        let b = cluster.submit(task_of(8)).unwrap();
+        let a = cluster
+            .submit_with(task_of(8), SubmitOptions::new())
+            .unwrap();
+        let b = cluster
+            .submit_with(task_of(8), SubmitOptions::new())
+            .unwrap();
         let report = cluster.run();
         assert_eq!(report.total_rejections(), 0);
         assert!(report.total_steps() > 0);
@@ -182,7 +193,7 @@ fn spillover_admits_what_a_single_job_rejects() {
         .cost_report(false)
         .build();
     let handle = cluster
-        .submit_to_job(0, task_of(12))
+        .submit_with(task_of(12), SubmitOptions::new().affinity(0))
         .expect("spillover must admit what job 0 alone cannot hold");
     assert_eq!(handle.job(), 1, "routed to the job with room");
     let report = cluster.run();
@@ -221,7 +232,7 @@ fn one_job_cluster_matches_deployment() {
         .cost_report(false)
         .build();
     for s in submissions() {
-        cluster.submit(s).unwrap();
+        cluster.submit_with(s, SubmitOptions::new()).unwrap();
     }
     let cluster_report = cluster.run();
 
@@ -249,7 +260,10 @@ fn online_arrival_lands_on_the_pinned_worker() {
         .cost_report(false)
         .build();
     let late = cluster
-        .submit(task_of(8).at(SimTime::from_millis(1_000)))
+        .submit_with(
+            task_of(8).at(SimTime::from_millis(1_000)),
+            SubmitOptions::new(),
+        )
         .unwrap();
     // Tightest 8 GiB fit cluster-wide is job 0's worker 1 (8.8 GiB free).
     assert_eq!(late.job(), 0);

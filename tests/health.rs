@@ -1,0 +1,211 @@
+//! End-to-end health-subsystem tests: the chaos layer's fault trace
+//! replayed with a supervisor armed, asserting that detection runs on
+//! schedule, supervised migrations are attributed distinctly from
+//! rejoin restores, hedge races cancel their losers, and the adaptive
+//! overload layers shed deterministically.
+
+use freeride::prelude::*;
+
+/// The worker the trace crashes at 4.0s (down 1s) and 5.2s (down 3s).
+const FLAPPING: usize = 1;
+
+const EPOCHS: usize = 6;
+
+const SEED: u64 = 0xC4A05;
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new()
+        .oom_window(SimTime::from_millis(3_000), SimDuration::from_secs(2))
+        .crash_worker(
+            SimTime::from_millis(4_000),
+            FLAPPING,
+            SimDuration::from_secs(1),
+        )
+        .rpc_spike(
+            SimTime::from_millis(5_000),
+            3,
+            SimDuration::from_millis(40),
+            SimDuration::from_secs(1),
+        )
+        .crash_worker(
+            SimTime::from_millis(5_200),
+            FLAPPING,
+            SimDuration::from_secs(3),
+        )
+        .straggler(
+            SimTime::from_millis(6_000),
+            2,
+            0.25,
+            SimDuration::from_secs(4),
+        )
+}
+
+/// Replays the trace with retry + checkpointing armed; `supervise`
+/// additionally arms the supervisor.
+fn run_cell(supervise: Option<SupervisorConfig>) -> ClusterReport {
+    let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(EPOCHS);
+    let mut job = ClusterJob::new(pipeline)
+        .seed(SEED)
+        .faults(fault_plan())
+        .checkpoint(SimDuration::from_secs(1));
+    if let Some(cfg) = supervise {
+        job = job.supervise(cfg);
+    }
+    let mut cluster = Cluster::builder().job(job).cost_report(false).build();
+
+    let retry = SubmitOptions::new().retry(RetryPolicy::new(8, SimDuration::from_millis(200)));
+    // Two steady tasks, spread onto workers 0 and 1 — the second sits in
+    // the path of both crashes.
+    for _ in 0..2 {
+        cluster
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .expect("up-front tasks fit");
+    }
+    // One arrival inside the OOM window, one landing while worker 2
+    // straggles (the hedged run's laggard).
+    let _ = cluster.submit_with(
+        Submission::new(WorkloadKind::ImageProc).at(SimTime::from_millis(3_500)),
+        retry.clone(),
+    );
+    let _ = cluster.submit_with(
+        Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(5_500)),
+        retry,
+    );
+    cluster.run()
+}
+
+#[test]
+fn unsupervised_runs_report_no_health_and_only_rejoin_recoveries() {
+    let reactive = run_cell(None);
+    assert!(
+        reactive.health.is_empty(),
+        "no supervisor, no heartbeats, no health report"
+    );
+    assert!(!reactive.jobs[0].recoveries.is_empty());
+    assert!(reactive.jobs[0]
+        .recoveries
+        .iter()
+        .all(|r| r.kind != RecoveryKind::Migration && r.kind != RecoveryKind::Hedge));
+}
+
+#[test]
+fn supervised_migrations_are_attributed_distinctly_from_rejoins() {
+    let supervised = run_cell(Some(SupervisorConfig::new()));
+    let h = &supervised.health;
+    // The flapping worker walks Healthy -> Suspect -> Dead and back; the
+    // straggler flaps Healthy <-> Suspect. Detection latency is bounded
+    // by the heartbeat budget.
+    assert!(!h.transitions.is_empty());
+    assert!(h.transitions.iter().any(|t| t.worker == FLAPPING));
+    assert!(h.mean_time_to_detect() > SimDuration::ZERO);
+    // At least one checkpointed task left the suspect worker before its
+    // daemon rejoined, and the recovery log says so explicitly.
+    assert!(h.migrations > 0);
+    let migrated = supervised.jobs[0]
+        .recoveries
+        .iter()
+        .filter(|r| r.kind == RecoveryKind::Migration)
+        .count() as u64;
+    assert_eq!(
+        migrated, h.migrations,
+        "every supervised migration must be attributed in recoveries"
+    );
+}
+
+#[test]
+fn hedge_races_cancel_exactly_one_incarnation_per_race() {
+    let hedged = run_cell(Some(SupervisorConfig::new().hedge(0.5)));
+    let h = &hedged.health;
+    let races = h.hedge_wins + h.hedge_losses;
+    assert!(races > 0, "the straggler window must trigger a hedge race");
+    // First completion wins; the loser — original or duplicate — is
+    // cancelled with the dedicated stop reason, one per settled race.
+    let cancelled = hedged.jobs[0]
+        .tasks
+        .iter()
+        .filter(|t| t.stop_reason == StopReason::HedgeLost)
+        .count() as u64;
+    assert_eq!(cancelled, races);
+}
+
+#[test]
+fn supervision_out_harvests_the_reactive_baseline() {
+    let reactive = run_cell(None);
+    let supervised = run_cell(Some(SupervisorConfig::new().hedge(0.5)));
+    assert!(
+        supervised.total_steps() > reactive.total_steps(),
+        "supervision must out-harvest the reactive baseline ({} vs {})",
+        supervised.total_steps(),
+        reactive.total_steps()
+    );
+    // And determinism holds with everything armed.
+    let again = run_cell(Some(SupervisorConfig::new().hedge(0.5)));
+    assert_eq!(supervised.health, again.health);
+    assert_eq!(supervised.total_steps(), again.total_steps());
+}
+
+#[test]
+fn adaptive_admission_sheds_a_burst_at_its_cap() {
+    let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2);
+    let mut cluster = Cluster::builder()
+        .job(ClusterJob::new(pipeline))
+        // A floor of 0 disables the multiplicative decrease, so the cap
+        // is pinned to 2 by the bounds alone.
+        .layer(
+            AdaptiveAdmission::new(SimDuration::from_secs(60))
+                .bounds(1.0, 2.0)
+                .pressure_floor(0.0),
+        )
+        .cost_report(false)
+        .build();
+    // The first two admissions pass, the rest of the burst sheds with a
+    // typed Overloaded.
+    for _ in 0..2 {
+        cluster
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .expect("under the cap");
+    }
+    for _ in 0..2 {
+        let err = cluster
+            .submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::Overloaded { limit: 2, .. }));
+        assert_eq!(err.kind(), "overloaded");
+    }
+}
+
+#[test]
+fn brownout_sheds_the_lowest_priority_tenant_first() {
+    let pipeline = PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2);
+    let mut cluster = Cluster::builder()
+        .job(ClusterJob::new(pipeline))
+        // Bubble memory never covers the whole device, so a floor of 1.0
+        // reads as sustained pressure from the first submission on.
+        .layer(Brownout::new(1.0, 1, ["batch", "interactive"]))
+        .cost_report(false)
+        .build();
+    // The first submission raises the brownout level to one tenant:
+    // "batch" is browned out, higher-priority tenants still pass.
+    let err = cluster
+        .submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new().tenant("batch"),
+        )
+        .unwrap_err();
+    assert!(matches!(err, SubmitError::Overloaded { .. }));
+    cluster
+        .submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new().tenant("paid"),
+        )
+        .expect("un-shed tenants ride out the brownout");
+}

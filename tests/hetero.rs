@@ -118,7 +118,7 @@ fn hetero_cluster_is_deterministic() {
             WorkloadKind::ResNet18,
             WorkloadKind::ImageProc,
         ] {
-            let _ = cluster.submit(Submission::new(kind));
+            let _ = cluster.submit_with(Submission::new(kind), SubmitOptions::new());
         }
         let report = cluster.run();
         (

@@ -7,8 +7,8 @@ use freeride::core::{
     next_state, AdmissionControl, BestFitMemory, Cluster, ClusterJob, ClusterReport, DeadlineLayer,
     Deployment, FastestFit, FaultPlan, FirstFit, FreeRideConfig, LeastLoaded, MinTasksJob,
     Placement, PlacementPolicy, PriorityTag, RateLimit, RateLimitMode, RetryPolicy, ServiceMetrics,
-    SideTaskManager, SideTaskState, Submission, SubmitOptions, TaskId, TenantQuota, Transition,
-    WorkerPolicy,
+    SideTaskManager, SideTaskState, Submission, SubmitOptions, SupervisorConfig, TaskId,
+    TenantQuota, Transition, WorkerPolicy,
 };
 use freeride::gpu::{HardwareSpec, MemBytes, MemoryPool};
 use freeride::pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
@@ -381,7 +381,8 @@ proptest! {
             }
             let mut cluster = Cluster::builder().job(job).cost_report(false).build();
             for _ in 0..2 {
-                let _ = cluster.submit(Submission::new(WorkloadKind::PageRank));
+                let _ =
+                    cluster.submit_with(Submission::new(WorkloadKind::PageRank), SubmitOptions::new());
             }
             let opts = if retry {
                 SubmitOptions::new().retry(RetryPolicy::new(4, SimDuration::from_millis(250)))
@@ -411,6 +412,87 @@ proptest! {
         let a = run();
         let b = run();
         prop_assert_eq!(digest(&a), digest(&b), "fault trace {:?} diverged on replay", events);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Health determinism: with the supervisor armed — heartbeats on the
+    /// bus, migration on Suspect, hedging — an arbitrary fault trace
+    /// still replays digest-identically, where the digest now includes
+    /// the detector's full transition log, the TTD/TTR samples, and the
+    /// per-recovery attribution. Supervision reacts to the event stream,
+    /// so any replay divergence would smear straight into this digest.
+    #[test]
+    fn any_fault_trace_replays_identically_under_supervision(
+        events in prop::collection::vec(
+            (0u8..4, 500u64..11_000, 0usize..4, 200u64..3_000, 1u64..50),
+            0..5,
+        ),
+        hedge in any::<bool>(),
+    ) {
+        let plan = || {
+            let mut p = FaultPlan::new();
+            for (kind, at_ms, worker, dur_ms, lat_ms) in &events {
+                let at = SimTime::from_millis(*at_ms);
+                let dur = SimDuration::from_millis(*dur_ms);
+                p = match kind {
+                    0 => p.crash_worker(at, *worker, dur),
+                    1 => p.straggler(at, *worker, 0.25 + (*lat_ms as f64) / 100.0, dur),
+                    2 => p.oom_window(at, dur),
+                    _ => p.rpc_spike(at, *worker, SimDuration::from_millis(*lat_ms), dur),
+                };
+            }
+            p
+        };
+        let run = || {
+            let pipeline =
+                PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(3);
+            let supervise = if hedge {
+                SupervisorConfig::new().hedge(0.5)
+            } else {
+                SupervisorConfig::new()
+            };
+            let job = ClusterJob::new(pipeline)
+                .seed(0xD1CE)
+                .faults(plan())
+                .checkpoint(SimDuration::from_millis(700))
+                .supervise(supervise);
+            let mut cluster = Cluster::builder().job(job).cost_report(false).build();
+            for _ in 0..2 {
+                let _ =
+                    cluster.submit_with(Submission::new(WorkloadKind::PageRank), SubmitOptions::new());
+            }
+            let _ = cluster.submit_with(
+                Submission::new(WorkloadKind::ImageProc).at(SimTime::from_millis(3_300)),
+                SubmitOptions::new().retry(RetryPolicy::new(4, SimDuration::from_millis(250))),
+            );
+            cluster.run()
+        };
+        let digest = |r: &ClusterReport| {
+            let j = &r.jobs[0];
+            format!(
+                "{:?}|{:?}|{:?}|{}|{}|{}",
+                j.tasks
+                    .iter()
+                    .map(|t| (t.id, t.worker, t.steps, t.stop_reason))
+                    .collect::<Vec<_>>(),
+                j.recoveries,
+                r.health,
+                r.total_rejections(),
+                r.events_processed,
+                j.total_time,
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(
+            digest(&a),
+            digest(&b),
+            "supervised fault trace {:?} diverged on replay",
+            events
+        );
     }
 }
 

@@ -61,7 +61,10 @@ fn registration_order_is_onion_order() {
         .cost_report(false)
         .build();
     cluster
-        .submit(Submission::new(WorkloadKind::PageRank))
+        .submit_with(
+            Submission::new(WorkloadKind::PageRank),
+            SubmitOptions::new(),
+        )
         .expect("an idle cluster accepts");
     assert_eq!(
         *log.lock().unwrap(),
@@ -257,7 +260,10 @@ fn empty_chain_is_identical_to_no_chain() {
         }
         let mut cluster = builder.build();
         for arrival in trace() {
-            let _ = cluster.submit(Submission::new(arrival.kind).at(arrival.at));
+            let _ = cluster.submit_with(
+                Submission::new(arrival.kind).at(arrival.at),
+                SubmitOptions::new(),
+            );
         }
         cluster.run()
     };
@@ -275,5 +281,133 @@ fn empty_chain_is_identical_to_no_chain() {
         service.layers[0].entered as usize,
         trace().len(),
         "every arrival passed through the layer"
+    );
+}
+
+/// Every `SubmitError` variant maps to a stable, non-empty, unique
+/// `kind()` label — the keys `rejections_by_kind` is bucketed by. A new
+/// variant without a distinct label would silently merge rejection
+/// buckets, so this list is exhaustive on purpose: extend it when the
+/// error taxonomy grows.
+#[test]
+fn every_submit_error_variant_has_a_stable_kind_label() {
+    let all = [
+        (
+            SubmitError::InsufficientMemory {
+                needed: MemBytes::from_gib(4),
+                best_worker_free: MemBytes::from_gib(1),
+            },
+            "insufficient-memory",
+        ),
+        (SubmitError::InvalidBatch { batch: 0 }, "invalid-batch"),
+        (
+            SubmitError::ArrivedAfterShutdown {
+                arrival: SimTime::from_millis(9_000),
+            },
+            "arrived-after-shutdown",
+        ),
+        (SubmitError::WorkerDown { worker: 1 }, "worker-down"),
+        (SubmitError::CircuitOpen { worker: 1 }, "circuit-open"),
+        (
+            SubmitError::DeadlineExceeded {
+                deadline: SimTime::from_millis(400),
+                arrival: SimTime::from_millis(900),
+            },
+            "deadline-exceeded",
+        ),
+        (
+            SubmitError::RateLimited {
+                retry_at: SimTime::from_millis(1_200),
+            },
+            "rate-limited",
+        ),
+        (SubmitError::QuotaExceeded { limit: 8 }, "quota-exceeded"),
+        (
+            SubmitError::Overloaded {
+                inflight: 9,
+                limit: 8,
+            },
+            "overloaded",
+        ),
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for (err, expected) in all {
+        let kind = err.kind();
+        assert_eq!(kind, expected, "label of {err:?} moved");
+        assert!(!kind.is_empty(), "{err:?} has an empty label");
+        assert!(
+            kind.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+            "{kind:?} is not kebab-case"
+        );
+        assert!(seen.insert(kind), "duplicate label {kind:?}");
+        assert!(
+            !err.to_string().is_empty(),
+            "{err:?} must render a message too"
+        );
+    }
+}
+
+/// In-run rejections — ones that happen at the arrival's simulated time,
+/// not at the submit-time gate — land in `rejections_by_kind` as well.
+/// `worker-down` and `circuit-open` can *only* arise in-run (they come
+/// from the fault window and the breaker's reaction to it), so the
+/// service report must fold the orchestrator's rejected list in.
+#[test]
+fn worker_down_and_circuit_open_surface_in_rejections_by_kind() {
+    /// Pins every submission to worker 1, which the fault plan crashes.
+    struct PinToCrashed;
+
+    impl PlacementPolicy for PinToCrashed {
+        fn name(&self) -> &'static str {
+            "pin-to-crashed"
+        }
+
+        fn place(&self, _needed: MemBytes, _view: &ClusterView) -> Option<Placement> {
+            Some(Placement::Worker { job: 0, worker: 1 })
+        }
+    }
+
+    let mut cluster = Cluster::builder()
+        .job(
+            ClusterJob::new(pipeline(3))
+                .seed(SEED)
+                .faults(FaultPlan::new().crash_worker(
+                    SimTime::from_millis(4_000),
+                    1,
+                    SimDuration::from_secs(3),
+                )),
+        )
+        // Threshold 2: the first two worker-down failures (4.5s, 4.6s)
+        // trip the breaker open until 9.6s. The third arrival lands at
+        // 7.5s — after the worker restarts at 7.0s, while the breaker is
+        // still open — so it is shed at the breaker, not the daemon.
+        .policy(CircuitBreaker::new(
+            PinToCrashed,
+            2,
+            SimDuration::from_secs(5),
+        ))
+        .layer(ServiceMetrics::new())
+        .cost_report(false)
+        .build();
+    for ms in [4_500, 4_600, 7_500] {
+        let _ = cluster.submit_with(
+            Submission::new(WorkloadKind::PageRank).at(SimTime::from_millis(ms)),
+            SubmitOptions::new(),
+        );
+    }
+    let report = cluster.run();
+    assert_eq!(report.total_rejections(), 3, "all three arrivals bounce");
+    let service = report.service.expect("metrics layer registered");
+    assert_eq!(
+        service.rejections_by_kind.get("worker-down").copied(),
+        Some(2),
+        "two arrivals hit the downed worker directly: {:?}",
+        service.rejections_by_kind
+    );
+    assert_eq!(
+        service.rejections_by_kind.get("circuit-open").copied(),
+        Some(1),
+        "the third is shed by the now-open breaker: {:?}",
+        service.rejections_by_kind
     );
 }

@@ -23,11 +23,18 @@
 //!    `traffic_events_per_sec` (the service-front-end metric);
 //! 7. **Health run** — the health benchmark's four-cell supervision grid
 //!    (one fault trace under every supervision level), reporting
-//!    `health_events_per_sec` (the failure-detection-path metric).
+//!    `health_events_per_sec` (the failure-detection-path metric);
+//! 8. **Observability run** — the 4-job cluster re-run with tracing and
+//!    per-subsystem profiling armed, reporting the tracing overhead
+//!    (`obs_events_per_sec`), printing the attribution table (events and
+//!    dispatch wall-time per subsystem), and writing the Chrome-trace
+//!    export to `trace.json` (load it in `chrome://tracing` or Perfetto).
 //!
 //! Results are printed and written to `BENCH.json` in the current
 //! directory so every PR leaves a perf trajectory to regress against
 //! (CI's non-gating perf-smoke step uploads the file as an artifact).
+//! Before overwriting, the committed `BENCH.json` is read back and a
+//! per-cell delta table is printed — informational only, never gating.
 //!
 //! Run: `cargo run --release -p freeride-bench --bin perf
 //! [epochs] [--threads N]`
@@ -37,7 +44,7 @@ use freeride_bench::{
 };
 use freeride_core::{
     run_colocation, Cluster, ClusterJob, ColocationRun, FastestFit, FreeRideConfig, LeastLoaded,
-    Submission, SubmitOptions,
+    ProfileReport, SimTracer, Submission, SubmitOptions,
 };
 use freeride_gpu::HardwareSpec;
 use freeride_pipeline::{ModelSpec, PipelineConfig};
@@ -95,6 +102,66 @@ fn cluster_run_once(args: &BenchArgs) -> u64 {
         );
     }
     cluster.run().events_processed
+}
+
+/// The observability run: the same 4-job cluster with tracing and
+/// per-subsystem profiling armed. Returns the timing (to expose the
+/// overhead of armed observability next to the unobserved `cluster`
+/// cell), the attribution report, the trace summary line, and the
+/// Chrome-trace JSON destined for `trace.json`.
+fn obs_run(args: &BenchArgs) -> (SingleRun, ProfileReport, u64, String) {
+    let model = |j: usize| match j % 3 {
+        0 => ModelSpec::nanogpt_3_6b(),
+        1 => ModelSpec::nanogpt_1_2b(),
+        _ => ModelSpec::nanogpt_6b(),
+    };
+    let run_once = || {
+        let sink = SimTracer::shared();
+        let mut builder = Cluster::builder()
+            .policy(LeastLoaded)
+            .cost_report(false)
+            .trace(sink.clone())
+            .profile(true);
+        for j in 0..4 {
+            let cfg = args.configure(FreeRideConfig::iterative());
+            builder = builder.job(
+                ClusterJob::new(PipelineConfig::paper_default(model(j)).with_epochs(args.epochs))
+                    .config(cfg)
+                    .seed(0xC1_05_7E ^ (j as u64)),
+            );
+        }
+        let mut cluster = builder.build();
+        for j in 0..4 {
+            let _ = cluster.submit_with(
+                Submission::new(WorkloadKind::PageRank),
+                SubmitOptions::new().affinity(j),
+            );
+            let _ = cluster.submit_with(
+                Submission::new(WorkloadKind::ImageProc),
+                SubmitOptions::new(),
+            );
+        }
+        let report = cluster.run();
+        (report, sink)
+    };
+    // One warm-up, then the measured run.
+    let _ = run_once();
+    let start = Instant::now();
+    let (report, sink) = run_once();
+    let wall_s = start.elapsed().as_secs_f64();
+    let profile = report.profile.clone().expect("profiling armed");
+    let summary = report.trace_summary.as_ref().expect("tracing armed");
+    let trace_events = summary.events;
+    let chrome = sink
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .to_chrome_trace();
+    let run = SingleRun {
+        wall_s,
+        events: report.events_processed,
+        events_per_sec: report.events_processed as f64 / wall_s,
+    };
+    (run, profile, trace_events, chrome)
 }
 
 /// One measurement of the multi-job (cluster) hot path.
@@ -245,6 +312,39 @@ fn sweep_jobs(args: &BenchArgs) -> Vec<Box<dyn FnOnce() -> ColocationRun + Send>
     jobs
 }
 
+/// Extracts the number following `"key":` from hand-rolled JSON. Good
+/// enough for `BENCH.json`, whose schema this bin itself writes.
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = src.find(&needle)? + needle.len();
+    let rest = src[at..].trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Prints the per-cell delta table against the committed `BENCH.json`.
+/// Purely informational — perf varies across hosts and the committed
+/// file may come from different hardware, so nothing here gates.
+fn print_bench_deltas(fresh: &[(&str, f64)]) {
+    let Ok(old) = std::fs::read_to_string("BENCH.json") else {
+        println!("no committed BENCH.json; skipping delta table");
+        return;
+    };
+    let version = json_number(&old, "bench_version").unwrap_or(0.0);
+    println!("-- deltas vs committed BENCH.json (bench_version {version:.0}, non-gating) --");
+    for &(key, new) in fresh {
+        match json_number(&old, key) {
+            Some(prev) if prev != 0.0 => {
+                let pct = 100.0 * (new - prev) / prev;
+                println!("{key:<26} {prev:>12.3} -> {new:>12.3}  ({pct:+.1}%)");
+            }
+            _ => println!("{key:<26} {:>12} -> {new:>12.3}  (new cell)", "-"),
+        }
+    }
+}
+
 fn timed_sweep(runner: SweepRunner, args: &BenchArgs) -> (f64, u64) {
     let jobs = sweep_jobs(args);
     let start = Instant::now();
@@ -304,6 +404,14 @@ fn main() {
         health_run.wall_s, health_run.events, health_run.events_per_sec
     );
 
+    println!("-- observability run (4-job cluster, tracing + profiling armed) --");
+    let (obs, profile, trace_events, chrome) = obs_run(&args);
+    println!(
+        "wall {:.3}s, {} events, {:.0} obs events/sec, {} trace events",
+        obs.wall_s, obs.events, obs.events_per_sec, trace_events
+    );
+    print!("{}", profile.table());
+
     println!("-- standard sweep (10 runs: table1 workloads + table2 mixed methods) --");
     let (seq_s, seq_events) = timed_sweep(SweepRunner::new(1), &args);
     println!("sequential: {seq_s:.3}s ({seq_events} events)");
@@ -318,13 +426,24 @@ fn main() {
         args.sweep().threads()
     );
 
+    print_bench_deltas(&[
+        ("events_per_sec", single.events_per_sec),
+        ("cluster_events_per_sec", cluster.events_per_sec),
+        ("hetero_events_per_sec", hetero.events_per_sec),
+        ("chaos_events_per_sec", chaos_run.events_per_sec),
+        ("traffic_events_per_sec", traffic_run.events_per_sec),
+        ("health_events_per_sec", health_run.events_per_sec),
+        ("obs_events_per_sec", obs.events_per_sec),
+        ("speedup", speedup),
+    ]);
+
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
         "{{\n  \
-         \"bench_version\": 6,\n  \
+         \"bench_version\": 7,\n  \
          \"unix_time\": {unix_time},\n  \
          \"host\": {{ \"cores\": {cores} }},\n  \
          \"config\": {{ \"epochs\": {epochs}, \"threads\": {threads}, \"sweep_jobs\": 10, \"cluster_jobs\": 4 }},\n  \
@@ -334,6 +453,7 @@ fn main() {
          \"chaos\": {{ \"wall_s\": {xw:.4}, \"events\": {xe}, \"chaos_events_per_sec\": {xeps:.0} }},\n  \
          \"traffic\": {{ \"wall_s\": {tw:.4}, \"events\": {te}, \"traffic_events_per_sec\": {teps:.0} }},\n  \
          \"health\": {{ \"wall_s\": {lw:.4}, \"events\": {le}, \"health_events_per_sec\": {leps:.0} }},\n  \
+         \"obs\": {{ \"wall_s\": {ow:.4}, \"events\": {oe}, \"obs_events_per_sec\": {oeps:.0}, \"trace_events\": {otr} }},\n  \
          \"sweep\": {{ \"sequential_s\": {qs:.4}, \"parallel_s\": {ps:.4}, \"speedup\": {sp:.3}, \"events\": {ev} }}\n\
          }}\n",
         epochs = args.epochs,
@@ -356,6 +476,10 @@ fn main() {
         lw = health_run.wall_s,
         le = health_run.events,
         leps = health_run.events_per_sec,
+        ow = obs.wall_s,
+        oe = obs.events,
+        oeps = obs.events_per_sec,
+        otr = trace_events,
         qs = seq_s,
         ps = par_s,
         sp = speedup,
@@ -363,4 +487,6 @@ fn main() {
     );
     std::fs::write("BENCH.json", &json).expect("write BENCH.json");
     println!("wrote BENCH.json");
+    std::fs::write("trace.json", &chrome).expect("write trace.json");
+    println!("wrote trace.json ({} bytes)", chrome.len());
 }

@@ -44,11 +44,14 @@ use crate::service::{ServiceChain, ServiceReport, SubmitMiddleware};
 use crate::state::SideTaskState;
 use crate::task::{StopReason, TaskId};
 use freeride_gpu::{HardwareSpec, MemBytes};
+use freeride_obs::{
+    ProfileReport, TraceEvent, TraceEventKind, TraceHandle, TraceSink, TraceSummary,
+};
 use freeride_pipeline::{PipelineConfig, ScheduleKind};
 use freeride_sim::{SimDuration, SimTime};
 use freeride_tasks::WorkloadTag;
 use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Where a [`PlacementPolicy`] routed a submission.
 ///
@@ -547,6 +550,8 @@ pub struct ClusterBuilder {
     seed: Option<u64>,
     cost_report: bool,
     layers: Vec<Box<dyn SubmitMiddleware>>,
+    tracer: Option<TraceHandle>,
+    profile: bool,
 }
 
 impl ClusterBuilder {
@@ -585,6 +590,50 @@ impl ClusterBuilder {
     /// path, byte-identically.
     pub fn layer(mut self, layer: impl SubmitMiddleware + 'static) -> Self {
         self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Arms sim-time tracing: every placement decision, middleware
+    /// verdict, manager command, task lifecycle transition, side-task
+    /// step, fault window, and health transition is recorded into `sink`
+    /// at its exact simulated time. Tracing adds **no** simulation
+    /// events, so a traced run replays the untraced event stream
+    /// byte-for-byte; with no sink armed (the default) every emission
+    /// site is a skipped branch.
+    ///
+    /// ```
+    /// use freeride_core::{Cluster, ClusterJob, Submission};
+    /// use freeride_obs::SimTracer;
+    /// use freeride_pipeline::{ModelSpec, PipelineConfig};
+    /// use freeride_tasks::WorkloadKind;
+    ///
+    /// let sink = SimTracer::shared();
+    /// let mut cluster = Cluster::builder()
+    ///     .job(ClusterJob::new(
+    ///         PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(2),
+    ///     ))
+    ///     .trace(sink.clone())
+    ///     .cost_report(false)
+    ///     .build();
+    /// cluster.submit(Submission::new(WorkloadKind::PageRank)).unwrap();
+    /// let report = cluster.run();
+    /// let summary = report.trace_summary.as_ref().expect("tracing armed");
+    /// assert!(summary.events > 0);
+    /// let chrome = sink.lock().unwrap().to_chrome_trace();
+    /// assert!(chrome.contains("\"traceEvents\""));
+    /// ```
+    pub fn trace(mut self, sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        self.tracer = Some(TraceHandle::new(sink));
+        self
+    }
+
+    /// Arms per-subsystem profiling: [`Cluster::run`] attributes each
+    /// dispatched event (and its wall-clock handling time) to the
+    /// subsystem it exercised and fills [`ClusterReport::profile`].
+    /// Attribution is wall-clock instrumentation only — it never touches
+    /// simulated time, so profiled runs stay deterministic.
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
         self
     }
 
@@ -627,6 +676,8 @@ impl ClusterBuilder {
                 }
                 chain
             },
+            tracer: self.tracer,
+            profile: self.profile,
         }
     }
 }
@@ -751,6 +802,8 @@ pub struct Cluster {
     next_id: u64,
     rejected: Vec<RejectedSubmission>,
     service: ServiceChain,
+    tracer: Option<TraceHandle>,
+    profile: bool,
 }
 
 impl Cluster {
@@ -762,6 +815,27 @@ impl Cluster {
             seed: None,
             cost_report: true,
             layers: Vec::new(),
+            tracer: None,
+            profile: false,
+        }
+    }
+
+    /// Emits an admission-plane trace event iff tracing is armed; `f`
+    /// runs only then, so the disarmed submit path never allocates.
+    pub(crate) fn emit_trace(
+        &self,
+        at: SimTime,
+        job: Option<usize>,
+        worker: Option<usize>,
+        f: impl FnOnce() -> TraceEventKind,
+    ) {
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(TraceEvent {
+                at,
+                job,
+                worker,
+                kind: f(),
+            });
         }
     }
 
@@ -949,6 +1023,13 @@ impl Cluster {
             Ok((profile, placement)) => {
                 let admitted_at = submission.arrival();
                 let (job, pinned) = self.validate_placement(placement, profile.gpu_mem);
+                self.emit_trace(admitted_at, Some(job), pinned, || {
+                    TraceEventKind::Placement {
+                        task: Some(id.0),
+                        accepted: true,
+                        detail: self.policy.name().to_string(),
+                    }
+                });
                 let outcome = Arc::new(OnceLock::new());
                 let handle = TaskHandle::new(id, submission.tag().clone(), Arc::clone(&outcome));
                 let slot = &mut self.jobs[job];
@@ -973,6 +1054,13 @@ impl Cluster {
                 })
             }
             Err(error) => {
+                self.emit_trace(submission.arrival(), None, None, || {
+                    TraceEventKind::Placement {
+                        task: Some(id.0),
+                        accepted: false,
+                        detail: error.kind().to_string(),
+                    }
+                });
                 self.rejected.push(RejectedSubmission { submission, error });
                 Err(error)
             }
@@ -1034,7 +1122,7 @@ impl Cluster {
             slot.cfg.validate();
         }
         let bus_seed = self.seed.unwrap_or(self.jobs[0].cfg.seed);
-        let outputs = {
+        let (outputs, profile) = {
             let specs: Vec<JobExecSpec<'_>> = self
                 .jobs
                 .iter()
@@ -1047,7 +1135,13 @@ impl Cluster {
                     supervise: s.supervise.as_ref(),
                 })
                 .collect();
-            execute_cluster(&specs, bus_seed, Arc::clone(&self.policy))
+            execute_cluster(
+                &specs,
+                bus_seed,
+                Arc::clone(&self.policy),
+                self.tracer.clone(),
+                self.profile,
+            )
         };
         let events_processed: u64 = outputs.iter().map(|o| o.events_processed).sum();
         let jobs: Vec<DeploymentReport> = self
@@ -1087,6 +1181,8 @@ impl Cluster {
             events_processed,
             service,
             health,
+            trace_summary: self.tracer.as_ref().map(|t| t.summary()),
+            profile,
         }
     }
 }
@@ -1139,6 +1235,12 @@ pub struct ClusterReport {
     /// (job-stamped), time-to-detect/time-to-recover samples, migration
     /// and hedge counters. Empty when no job is supervised.
     pub health: HealthReport,
+    /// Event counts by kind across every trace emission of the run.
+    /// `Some` exactly when tracing was armed ([`ClusterBuilder::trace`]).
+    pub trace_summary: Option<TraceSummary>,
+    /// Per-subsystem event/wall-time attribution. `Some` exactly when
+    /// profiling was armed ([`ClusterBuilder::profile`]).
+    pub profile: Option<ProfileReport>,
 }
 
 impl ClusterReport {

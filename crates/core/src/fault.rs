@@ -84,6 +84,29 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable lowercase label, used in trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::WorkerCrash { .. } => "worker-crash",
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::OomWindow { .. } => "oom-window",
+            FaultKind::RpcSpike { .. } => "rpc-spike",
+        }
+    }
+
+    /// The worker the fault targets, when it targets one (OOM windows
+    /// press on the whole job).
+    pub fn worker(&self) -> Option<usize> {
+        match self {
+            FaultKind::WorkerCrash { worker, .. }
+            | FaultKind::Straggler { worker, .. }
+            | FaultKind::RpcSpike { worker, .. } => Some(*worker),
+            FaultKind::OomWindow { .. } => None,
+        }
+    }
+}
+
 /// One scheduled fault: a [`FaultKind`] firing at an exact simulated time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {

@@ -76,13 +76,20 @@ pub enum HealthState {
     Dead,
 }
 
-impl core::fmt::Display for HealthState {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(match self {
+impl HealthState {
+    /// Stable lowercase label, used in displays and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
             HealthState::Healthy => "healthy",
             HealthState::Suspect => "suspect",
             HealthState::Dead => "dead",
-        })
+        }
+    }
+}
+
+impl core::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -520,14 +527,21 @@ pub enum RecoveryKind {
     Hedge,
 }
 
-impl core::fmt::Display for RecoveryKind {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(match self {
+impl RecoveryKind {
+    /// Stable lowercase label, used in displays and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
             RecoveryKind::Resubmit => "resubmit",
             RecoveryKind::Rejoin => "rejoin",
             RecoveryKind::Migration => "migration",
             RecoveryKind::Hedge => "hedge",
-        })
+        }
+    }
+}
+
+impl core::fmt::Display for RecoveryKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -56,7 +56,16 @@
 //!   [`run_colocation`] remains for the paper-experiment binaries);
 //! * the **baselines** of §6.1.2 (MPS and naive co-location) and the
 //!   **metrics** of §6.1.5 (time increase `I`, cost savings `S`, Fig. 9
-//!   bubble accounting).
+//!   bubble accounting);
+//! * the **observability seams** into [`freeride_obs`]: arming a
+//!   [`TraceSink`] via [`ClusterBuilder::trace`]
+//!   records every placement, middleware verdict, manager command, task
+//!   lifecycle transition, step, fault window, and health transition at
+//!   its exact simulated time (summarised in
+//!   [`ClusterReport::trace_summary`]); [`ClusterBuilder::profile`]
+//!   attributes events and wall-time per subsystem into
+//!   [`ClusterReport::profile`]. Both are strictly passive: armed runs
+//!   replay the unobserved event stream byte-for-byte.
 //!
 //! ## Example: harvest bubbles with four PageRank side tasks
 //!
@@ -124,3 +133,10 @@ pub use service::{
 pub use state::{next_state, IllegalTransition, SideTaskState, StateMachine, Transition};
 pub use task::{Misbehavior, SideTask, StopReason, TaskId};
 pub use worker::{Worker, WorkerAccounting, WorkerEffect};
+
+// Observability vocabulary used in this crate's public API
+// ([`ClusterBuilder::trace`]/[`ClusterReport`]), re-exported so callers
+// need not name `freeride_obs` for the common paths.
+pub use freeride_obs::{
+    ProfileReport, ProfileRow, SimTracer, TraceEvent, TraceEventKind, TraceSink, TraceSummary,
+};

@@ -57,6 +57,19 @@ pub enum ManagerCmd {
     },
 }
 
+impl ManagerCmd {
+    /// Stable lowercase label, used in trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ManagerCmd::Create { .. } => "create",
+            ManagerCmd::Init { .. } => "init",
+            ManagerCmd::Start { .. } => "start",
+            ManagerCmd::Pause { .. } => "pause",
+            ManagerCmd::Stop { .. } => "stop",
+        }
+    }
+}
+
 /// Why a submission could not be admitted.
 ///
 /// Replaces the old information-free `Rejected` unit struct: every variant

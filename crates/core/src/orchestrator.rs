@@ -42,6 +42,9 @@ use crate::state::SideTaskState;
 use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
 use crate::worker::{Worker, WorkerEffect};
 use freeride_gpu::{GpuDevice, GpuId, MemBytes, ProcessId, SharingKind};
+use freeride_obs::{
+    ProfileCollector, ProfileReport, Subsystem, TraceEvent, TraceEventKind, TraceHandle,
+};
 use freeride_pipeline::{BubbleReport, EngineAction, PipelineConfig, PipelineEngine};
 use freeride_rpc::{job_scope, Directory, Endpoint, Envelope, LatencyModel, RpcBus};
 use freeride_sim::{
@@ -296,12 +299,30 @@ struct JobRuntime {
     hedge_cancel: BTreeSet<TaskId>,
     /// Resolved hedge races: (original, duplicate, duplicate won).
     hedge_outcome: Vec<(TaskId, TaskId, bool)>,
+
+    /// Sim-time trace sink, when the cluster armed one. `None` (the
+    /// default) keeps every emission site a skipped branch: the fault-free
+    /// untraced run is byte-for-byte the pre-observability one.
+    tracer: Option<TraceHandle>,
 }
 
 impl JobRuntime {
     /// Wraps a job-local event for the cluster-wide queue.
     fn ev(&self, ev: Ev) -> ClusterEv {
         ClusterEv { job: self.job, ev }
+    }
+
+    /// Emits a trace event iff tracing is armed; `f` runs only then, so
+    /// the disarmed path never allocates or formats.
+    fn emit_with(&self, at: SimTime, worker: Option<usize>, f: impl FnOnce() -> TraceEventKind) {
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(TraceEvent {
+                at,
+                job: Some(self.job),
+                worker,
+                kind: f(),
+            });
+        }
     }
 
     fn is_freeride(&self) -> bool {
@@ -386,6 +407,7 @@ impl JobRuntime {
                     s.schedule_at(at, ev);
                 }
                 EngineAction::BubbleStart(r) => {
+                    self.emit_with(now, Some(r.stage), || TraceEventKind::BubbleBegin);
                     if self.is_freeride() {
                         self.send(
                             now,
@@ -397,10 +419,15 @@ impl JobRuntime {
                         );
                     }
                 }
-                EngineAction::BubbleEnd { .. } => {}
-                EngineAction::EpochEnd { .. } => {}
+                EngineAction::BubbleEnd { stage, at } => {
+                    self.emit_with(at, Some(stage), || TraceEventKind::BubbleEnd);
+                }
+                EngineAction::EpochEnd { epoch, at } => {
+                    self.emit_with(at, None, || TraceEventKind::EpochEnd { epoch });
+                }
                 EngineAction::TrainingDone { .. } => {
                     self.training_done = true;
+                    self.emit_with(now, None, || TraceEventKind::TrainingDone);
                     self.issue_stops(now, bus, s);
                 }
             }
@@ -583,6 +610,10 @@ impl JobRuntime {
                         latency: now.saturating_since(first),
                         kind: RecoveryKind::Resubmit,
                     });
+                    self.emit_with(now, Some(w), || TraceEventKind::Recovery {
+                        task: slot.id.0,
+                        kind: RecoveryKind::Resubmit.label(),
+                    });
                 }
                 policy.on_outcome(
                     now,
@@ -602,11 +633,25 @@ impl JobRuntime {
                 )
                 .with_misbehavior(slot.misbehavior);
                 self.pending_create.insert(slot.id, task);
+                self.emit_with(now, Some(w), || TraceEventKind::TaskAdmitted {
+                    task: slot.id.0,
+                    name: slot.tag.name().to_string(),
+                });
+                self.emit_with(now, Some(w), || TraceEventKind::Placement {
+                    task: Some(slot.id.0),
+                    accepted: true,
+                    detail: format!("worker{w}"),
+                });
                 self.placements.push((slot.id, w, slot.tag, slot.profile));
                 let to = self.ep_workers[w];
                 self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
             }
             Err(e) => {
+                self.emit_with(now, slot.pinned, || TraceEventKind::Placement {
+                    task: Some(slot.id.0),
+                    accepted: false,
+                    detail: e.kind().to_string(),
+                });
                 let failed_worker = match &e {
                     SubmitError::WorkerDown { worker } | SubmitError::CircuitOpen { worker } => {
                         Some(*worker)
@@ -648,7 +693,11 @@ impl JobRuntime {
         policy: &dyn PlacementPolicy,
         s: &mut Scheduler<'_, ClusterEv>,
     ) {
-        match self.faults[idx].kind {
+        let fault = self.faults[idx].kind;
+        self.emit_with(now, fault.worker(), || TraceEventKind::FaultBegin {
+            fault: fault.label(),
+        });
+        match fault {
             FaultKind::WorkerCrash { worker, down_for } => {
                 // Settle the device up to the crash instant, then take
                 // every live side task down with the daemon. Training is
@@ -730,7 +779,11 @@ impl JobRuntime {
         bus: &mut RpcBus,
         s: &mut Scheduler<'_, ClusterEv>,
     ) {
-        match self.faults[idx].kind {
+        let fault = self.faults[idx].kind;
+        self.emit_with(now, fault.worker(), || TraceEventKind::FaultEnd {
+            fault: fault.label(),
+        });
+        match fault {
             FaultKind::Straggler { worker, .. } => {
                 self.drain_device(now, worker, bus, s);
                 let base = self.base_speeds[worker];
@@ -905,26 +958,33 @@ impl JobRuntime {
             latency: now.saturating_since(l.crashed_at),
             kind,
         });
+        self.emit_with(now, Some(target), || TraceEventKind::Recovery {
+            task: l.orig.0,
+            kind: kind.label(),
+        });
         let to = self.ep_workers[target];
         self.send(now, self.ep_manager, to, Msg::Cmd(cmd), bus, s);
     }
 
     /// Periodic checkpoint snapshot: record every live task's step count
     /// so a later crash restores from here rather than from zero.
-    fn handle_checkpoint(&mut self, s: &mut Scheduler<'_, ClusterEv>) {
+    fn handle_checkpoint(&mut self, now: SimTime, s: &mut Scheduler<'_, ClusterEv>) {
         let Some(interval) = self.ckpt_interval else {
             return;
         };
         if self.finished() {
             return; // run is draining — stop rescheduling
         }
+        let mut snapped: u64 = 0;
         for w in &self.workers {
             for t in w.tasks() {
                 if !t.is_stopped() {
                     self.ckpt_steps.insert(t.id, t.steps);
+                    snapped += 1;
                 }
             }
         }
+        self.emit_with(now, None, || TraceEventKind::Checkpoint { tasks: snapped });
         let ev = self.ev(Ev::Checkpoint);
         s.schedule_after(interval, ev);
     }
@@ -985,6 +1045,10 @@ impl JobRuntime {
         let interval = sup.cfg().heartbeat_interval;
         let migrate_on_suspect = sup.cfg().migrate_on_suspect;
         for tr in transitions {
+            self.emit_with(now, Some(tr.worker), || TraceEventKind::Health {
+                from: tr.from.label(),
+                to: tr.to.label(),
+            });
             let evict = match tr.to {
                 HealthState::Suspect => migrate_on_suspect,
                 HealthState::Dead => true,
@@ -1152,6 +1216,10 @@ impl JobRuntime {
                     latency: now.saturating_since(launched),
                     kind: RecoveryKind::Hedge,
                 });
+                self.emit_with(now, Some(d_w), || TraceEventKind::Recovery {
+                    task: orig.0,
+                    kind: RecoveryKind::Hedge.label(),
+                });
             }
         }
         self.hedges = hedges;
@@ -1247,6 +1315,10 @@ impl JobRuntime {
         {
             return;
         }
+        self.emit_with(now, Some(wi), || TraceEventKind::Command {
+            task: cmd_task(&cmd).0,
+            cmd: cmd.label(),
+        });
         let effects = match cmd {
             ManagerCmd::Create { task, .. } => {
                 let Some(obj) = self.pending_create.remove(&task) else {
@@ -1320,7 +1392,7 @@ impl JobRuntime {
             Ev::Arrival(idx) => self.handle_arrival(now, idx, bus, policy, s),
             Ev::Fault(idx) => self.handle_fault(now, idx, bus, policy, s),
             Ev::FaultEnd(idx) => self.handle_fault_end(now, idx, bus, s),
-            Ev::Checkpoint => self.handle_checkpoint(s),
+            Ev::Checkpoint => self.handle_checkpoint(now, s),
             Ev::Heartbeat(w) => self.handle_heartbeat(now, w, bus, s),
             Ev::HealthCheck => self.handle_health_check(now, bus, s),
             Ev::HedgeCheck => self.handle_hedge_check(now, bus, s),
@@ -1348,6 +1420,10 @@ impl JobRuntime {
                     task,
                     state,
                 } => {
+                    self.emit_with(now, Some(worker), || TraceEventKind::TaskState {
+                        task: task.0,
+                        state: state.label(),
+                    });
                     self.manager.on_task_state(worker, task, state);
                     self.stop_straggler(now, worker, task, state, bus, s);
                     self.run_manager_poll(now, bus, s);
@@ -1406,6 +1482,29 @@ fn cmd_task(cmd: &ManagerCmd) -> TaskId {
     }
 }
 
+impl Ev {
+    /// Which subsystem's logic an event exercises — the attribution key
+    /// for profiled runs. RPC deliveries are bucketed as `rpc` even
+    /// though their payload fans out into manager/worker logic: the
+    /// delivery boundary is where the simulated network hands off, which
+    /// is the cut an operator reasons about.
+    fn subsystem(&self) -> Subsystem {
+        match self {
+            Ev::LaunchOp(_)
+            | Ev::EpochBoundary
+            | Ev::DeviceTick(_)
+            | Ev::InitDone { .. }
+            | Ev::StepLaunch { .. }
+            | Ev::GraceCheck { .. } => Subsystem::Orchestrator,
+            Ev::ManagerPollPeriodic | Ev::ManagerPollOnce => Subsystem::Manager,
+            Ev::Deliver(_) => Subsystem::Rpc,
+            Ev::Arrival(_) => Subsystem::Service,
+            Ev::Fault(_) | Ev::FaultEnd(_) | Ev::Checkpoint => Subsystem::Fault,
+            Ev::Heartbeat(_) | Ev::HealthCheck | Ev::HedgeCheck => Subsystem::Health,
+        }
+    }
+}
+
 /// The cluster-wide simulation world: N job runtimes sharing one event
 /// queue and one RPC bus.
 struct ClusterWorld {
@@ -1414,15 +1513,29 @@ struct ClusterWorld {
     /// The cluster's placement policy, consulted by resilience middleware
     /// (circuit breakers observe failures and mask workers mid-run).
     policy: Arc<dyn PlacementPolicy>,
+    /// Per-subsystem event/wall-time attribution, when profiling is armed.
+    /// `None` keeps the dispatch hot path free of `Instant` reads.
+    profile: Option<ProfileCollector>,
 }
 
 impl World for ClusterWorld {
     type Event = ClusterEv;
 
     fn handle(&mut self, now: SimTime, event: ClusterEv, s: &mut Scheduler<'_, ClusterEv>) {
+        if self.profile.is_none() {
+            let job = &mut self.jobs[event.job];
+            job.events_processed += 1;
+            job.handle_ev(now, event.ev, &mut self.bus, self.policy.as_ref(), s);
+            return;
+        }
+        let bucket = event.ev.subsystem();
+        let start = std::time::Instant::now();
         let job = &mut self.jobs[event.job];
         job.events_processed += 1;
         job.handle_ev(now, event.ev, &mut self.bus, self.policy.as_ref(), s);
+        if let Some(collector) = &mut self.profile {
+            collector.record(bucket, start.elapsed());
+        }
     }
 }
 
@@ -1462,11 +1575,19 @@ pub(crate) struct JobExecSpec<'a> {
 /// can observe failures and mask workers mid-run; the hooks it uses are
 /// no-op defaults on plain policies, so they never perturb the event
 /// stream.
+///
+/// `tracer` arms sim-time tracing (every runtime and worker emits into
+/// the shared handle); `profile` arms per-subsystem wall-time
+/// attribution. Both default off, leaving the hot path untouched, and
+/// neither schedules events — armed runs replay the untraced event
+/// stream exactly.
 pub(crate) fn execute_cluster(
     jobs: &[JobExecSpec<'_>],
     bus_seed: u64,
     policy: Arc<dyn PlacementPolicy>,
-) -> Vec<ExecutionOutput> {
+    tracer: Option<TraceHandle>,
+    profile: bool,
+) -> (Vec<ExecutionOutput>, Option<ProfileReport>) {
     assert!(!jobs.is_empty(), "cluster needs at least one job");
 
     // One job-qualified directory and one bus span every job. The global
@@ -1586,6 +1707,17 @@ pub(crate) fn execute_cluster(
                         )
                         .with_misbehavior(sub.misbehavior());
                         pending_create.insert(id, task);
+                        if let Some(t) = &tracer {
+                            t.emit(TraceEvent {
+                                at: SimTime::ZERO,
+                                job: Some(j),
+                                worker: Some(w),
+                                kind: TraceEventKind::TaskAdmitted {
+                                    task: id.0,
+                                    name: sub.tag().name().to_string(),
+                                },
+                            });
+                        }
                         placements.push((id, w, sub.tag().clone(), acc.profile));
                         initial_cmds.push(cmd);
                     }
@@ -1633,11 +1765,19 @@ pub(crate) fn execute_cluster(
             );
         }
 
+        let workers: Vec<Worker> = (0..pipeline_cfg.stages)
+            .map(|i| {
+                let mut w = Worker::new(i, fr_cfg.clone());
+                if let Some(t) = &tracer {
+                    w.set_tracer(t.clone(), j);
+                }
+                w
+            })
+            .collect();
+
         runtimes.push(JobRuntime {
             job: j,
-            workers: (0..pipeline_cfg.stages)
-                .map(|i| Worker::new(i, fr_cfg.clone()))
-                .collect(),
+            workers,
             tick_ids: vec![None; pipeline_cfg.stages],
             faults: spec.faults.events().to_vec(),
             down_until: vec![None; pipeline_cfg.stages],
@@ -1679,6 +1819,7 @@ pub(crate) fn execute_cluster(
             cmd_buf: Vec::new(),
             interface,
             cfg: fr_cfg.clone(),
+            tracer: tracer.clone(),
         });
         initial_cmds_per_job.push(initial_cmds);
         arrival_times_per_job.push(arrival_times);
@@ -1688,6 +1829,7 @@ pub(crate) fn execute_cluster(
         jobs: runtimes,
         bus,
         policy,
+        profile: profile.then(ProfileCollector::new),
     };
     let mut sim = Simulation::new(world);
 
@@ -1834,8 +1976,9 @@ pub(crate) fn execute_cluster(
     let outcome = sim.run_to_quiescence();
     assert_eq!(outcome, RunOutcome::Quiescent, "run must drain");
     let world = sim.into_world();
+    let profile_report = world.profile.map(|c| c.report());
 
-    world
+    let outputs = world
         .jobs
         .into_iter()
         .map(|job| {
@@ -1925,7 +2068,8 @@ pub(crate) fn execute_cluster(
                 health,
             }
         })
-        .collect()
+        .collect();
+    (outputs, profile_report)
 }
 
 /// Legacy batch entry point: runs pipeline training co-located with the

@@ -261,6 +261,8 @@ impl Next for ChainCtx<'_> {
             }
             Some((entry, tail)) => {
                 entry.1.entered += 1;
+                let layer = entry.0.name();
+                let at = submission.arrival();
                 let mut inner = ChainCtx {
                     rest: tail,
                     core: &mut *self.core,
@@ -270,6 +272,15 @@ impl Next for ChainCtx<'_> {
                 if out.is_err() {
                     entry.1.rejected += 1;
                 }
+                self.cluster.emit_trace(at, None, None, || {
+                    freeride_obs::TraceEventKind::Middleware {
+                        layer,
+                        decision: match &out {
+                            Ok(_) => "accept".to_string(),
+                            Err(e) => e.kind().to_string(),
+                        },
+                    }
+                });
                 out
             }
         }
@@ -686,75 +697,12 @@ pub struct TenantStats {
 }
 
 /// Sorted latency-to-placement samples with nearest-rank quantiles.
-#[derive(Debug, Clone, Default)]
-pub struct LatencyHistogram {
-    sorted: Vec<u64>,
-}
-
-impl LatencyHistogram {
-    /// Builds a histogram from raw nanosecond samples (sorted
-    /// internally).
-    pub fn from_nanos(mut samples: Vec<u64>) -> Self {
-        samples.sort_unstable();
-        LatencyHistogram { sorted: samples }
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.sorted.len()
-    }
-
-    /// Whether the histogram holds no samples.
-    pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
-    }
-
-    /// The nearest-rank `q`-quantile (`0 < q <= 1`), or
-    /// [`SimDuration::ZERO`] when empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `(0, 1]`.
-    pub fn quantile(&self, q: f64) -> SimDuration {
-        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
-        match self.sorted.len() {
-            0 => SimDuration::ZERO,
-            n => {
-                let rank = (q * n as f64).ceil() as usize;
-                SimDuration::from_nanos(self.sorted[rank.clamp(1, n) - 1])
-            }
-        }
-    }
-
-    /// Median latency-to-placement.
-    pub fn p50(&self) -> SimDuration {
-        self.quantile(0.50)
-    }
-
-    /// 99th-percentile latency-to-placement.
-    pub fn p99(&self) -> SimDuration {
-        self.quantile(0.99)
-    }
-
-    /// 99.9th-percentile latency-to-placement.
-    pub fn p999(&self) -> SimDuration {
-        self.quantile(0.999)
-    }
-
-    /// The largest sample, or [`SimDuration::ZERO`] when empty.
-    pub fn max(&self) -> SimDuration {
-        SimDuration::from_nanos(self.sorted.last().copied().unwrap_or(0))
-    }
-
-    /// Arithmetic mean, or [`SimDuration::ZERO`] when empty.
-    pub fn mean(&self) -> SimDuration {
-        if self.sorted.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let sum: u128 = self.sorted.iter().map(|&n| n as u128).sum();
-        SimDuration::from_nanos((sum / self.sorted.len() as u128) as u64)
-    }
-}
+///
+/// Hoisted into [`freeride_obs`] as the single histogram implementation
+/// of the observability subsystem (the [`freeride_obs::MetricsRegistry`]
+/// records into the same type); re-exported here so every historical
+/// `freeride_core::LatencyHistogram` path keeps working unchanged.
+pub use freeride_obs::LatencyHistogram;
 
 /// What the service front-end observed over one cluster lifetime:
 /// driver-collected per-layer counters (every layer, custom ones

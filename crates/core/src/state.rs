@@ -35,6 +35,20 @@ pub enum SideTaskState {
     Stopped,
 }
 
+impl SideTaskState {
+    /// Stable lowercase label, used in trace events (the uppercase
+    /// [`Display`](core::fmt::Display) form follows Fig. 4's lettering).
+    pub fn label(self) -> &'static str {
+        match self {
+            SideTaskState::Submitted => "submitted",
+            SideTaskState::Created => "created",
+            SideTaskState::Paused => "paused",
+            SideTaskState::Running => "running",
+            SideTaskState::Stopped => "stopped",
+        }
+    }
+}
+
 impl core::fmt::Display for SideTaskState {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let s = match self {

@@ -64,6 +64,21 @@ pub enum StopReason {
     HedgeLost,
 }
 
+impl StopReason {
+    /// Stable lowercase label, used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::NotStopped => "not-stopped",
+            StopReason::Finished => "finished",
+            StopReason::KilledGrace => "killed-grace",
+            StopReason::KilledOom => "killed-oom",
+            StopReason::Crashed => "crashed",
+            StopReason::WorkerLost => "worker-lost",
+            StopReason::HedgeLost => "hedge-lost",
+        }
+    }
+}
+
 /// A side task as owned by its worker.
 pub struct SideTask {
     /// Task id.

@@ -11,6 +11,7 @@ use crate::config::{FreeRideConfig, InterfaceKind};
 use crate::state::{SideTaskState, Transition};
 use crate::task::{Misbehavior, SideTask, StopReason, TaskId};
 use freeride_gpu::{ContainerRegistry, GpuDevice, KernelSpec, Priority, ProcessState};
+use freeride_obs::{TraceEvent, TraceEventKind, TraceHandle};
 use freeride_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -80,6 +81,8 @@ pub struct Worker {
     /// Pause received while a kernel was in flight (iterative semantics).
     pending_pause: Option<(TaskId, SimTime)>,
     accounting: WorkerAccounting,
+    /// Trace sink and owning job index, when tracing is armed.
+    tracer: Option<(TraceHandle, usize)>,
 }
 
 impl Worker {
@@ -94,6 +97,25 @@ impl Worker {
             active: BTreeMap::new(),
             pending_pause: None,
             accounting: WorkerAccounting::default(),
+            tracer: None,
+        }
+    }
+
+    /// Arms sim-time tracing for this worker's step and stop events.
+    pub(crate) fn set_tracer(&mut self, handle: TraceHandle, job: usize) {
+        self.tracer = Some((handle, job));
+    }
+
+    /// Emits a trace event iff tracing is armed; `f` runs only then, so
+    /// the disarmed path never allocates.
+    fn emit(&self, at: SimTime, f: impl FnOnce() -> TraceEventKind) {
+        if let Some((handle, job)) = &self.tracer {
+            handle.emit(TraceEvent {
+                at,
+                job: Some(*job),
+                worker: Some(self.stage),
+                kind: f(),
+            });
         }
     }
 
@@ -357,8 +379,11 @@ impl Worker {
             // RunNextStep self-loop bookkeeping.
             task.transition(now, Transition::RunNextStep);
         }
+        let steps = task.steps;
+        self.emit(now, || TraceEventKind::StepEnd { task: id.0, steps });
 
         // Failure injection.
+        let task = self.tasks.get_mut(&id).expect("known");
         match task.misbehavior {
             Misbehavior::LeakMemory { per_step } => {
                 let pid = task.pid.expect("running task has a pid");
@@ -476,6 +501,7 @@ impl Worker {
         match device.launch(now, spec) {
             Ok(_) => {
                 self.active.insert(id, (now, solo));
+                self.emit(now, || TraceEventKind::StepBegin { task: id.0 });
             }
             Err(_) => {
                 // Process died between scheduling and launch: drop.
@@ -528,6 +554,10 @@ impl Worker {
         if self.pending_pause.is_some_and(|(t, _)| t == id) {
             self.pending_pause = None;
         }
+        self.emit(now, || TraceEventKind::TaskStopped {
+            task: id.0,
+            reason: reason.label(),
+        });
         vec![WorkerEffect::Ack {
             task: id,
             state: SideTaskState::Stopped,

@@ -1,0 +1,51 @@
+//! Hand-rolled JSON formatting primitives shared by the exporters.
+//!
+//! The build environment vendors no JSON crate, and the exporters must
+//! be byte-identical across runs anyway — hand-formatting integers and
+//! escaped strings is both sufficient and the easiest thing to pin.
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders nanoseconds as exact-decimal microseconds (`ts` in the
+/// Chrome-trace format) without going through floating point, so the
+/// output never depends on formatting quirks: `1234` → `"1.234"`.
+pub(crate) fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\nb");
+        assert_eq!(escape_json("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn micros_is_exact_decimal() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1), "0.001");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(1_000_000_000), "1000000.000");
+    }
+}

@@ -1,0 +1,95 @@
+//! Observability walkthrough: arm a [`SimTracer`] and per-subsystem
+//! profiling on a two-job cluster, then inspect everything the run
+//! recorded — the trace summary, the per-subsystem attribution table,
+//! the first few raw events, and the Chrome-trace export (written to
+//! `trace.json`; load it in `chrome://tracing` or Perfetto, one lane
+//! per worker).
+//!
+//! Tracing is strictly passive: the same cluster without the sink
+//! replays the identical event stream (`tests/proptests.rs` proves it
+//! property-wise), so you can leave instrumentation out of production
+//! runs and arm it only when debugging a placement or fault timeline.
+//!
+//! Run: `cargo run --release --example traced_cluster [epochs]`
+
+use freeride::core::{Cluster, ClusterJob, LeastLoaded, Submission, SubmitOptions};
+use freeride::obs::SimTracer;
+use freeride::pipeline::{ModelSpec, PipelineConfig};
+use freeride::tasks::WorkloadKind;
+
+fn main() {
+    let epochs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    // The tracer is shared: the cluster holds one handle, we keep the
+    // other to read the recording back after the run.
+    let sink = SimTracer::shared();
+
+    let mut cluster = Cluster::builder()
+        .job(
+            ClusterJob::new(
+                PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(epochs),
+            )
+            .seed(1),
+        )
+        .job(
+            ClusterJob::new(
+                PipelineConfig::paper_default(ModelSpec::nanogpt_1_2b()).with_epochs(epochs),
+            )
+            .seed(2),
+        )
+        .policy(LeastLoaded)
+        .cost_report(false)
+        .trace(sink.clone())
+        .profile(true)
+        .build();
+
+    for kind in [
+        WorkloadKind::PageRank,
+        WorkloadKind::ImageProc,
+        WorkloadKind::ResNet18,
+    ] {
+        let _ = cluster.submit_with(Submission::new(kind), SubmitOptions::new());
+    }
+
+    println!("running a traced 2-job cluster ({epochs} epochs/job)…");
+    let report = cluster.run();
+
+    let summary = report.trace_summary.as_ref().expect("tracing armed");
+    println!();
+    println!("trace summary: {} events", summary.events);
+    for (kind, count) in &summary.by_kind {
+        println!("  {kind:<16} {count}");
+    }
+
+    let profile = report.profile.as_ref().expect("profiling armed");
+    println!();
+    println!(
+        "per-subsystem attribution ({} events):",
+        profile.total_events()
+    );
+    print!("{}", profile.table());
+
+    let tracer = sink.lock().expect("tracer lock");
+    println!();
+    println!("first events of the recording:");
+    for event in tracer.events().iter().take(8) {
+        println!(
+            "  t={} job={:?} worker={:?} {}",
+            event.at,
+            event.job,
+            event.worker,
+            event.kind.label()
+        );
+    }
+
+    let chrome = tracer.to_chrome_trace();
+    std::fs::write("trace.json", &chrome).expect("write trace.json");
+    println!();
+    println!(
+        "wrote trace.json ({} bytes) — open it in chrome://tracing or Perfetto",
+        chrome.len()
+    );
+}

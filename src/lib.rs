@@ -16,6 +16,7 @@
 //! | [`rpc`] | `freeride-rpc` | latency-modelled RPC bus |
 //! | [`pipeline`] | `freeride-pipeline` | pipeline training + bubbles |
 //! | [`tasks`] | `freeride-tasks` | side-task workloads + profiles |
+//! | [`obs`] | `freeride-obs` | sim-time tracing, metrics, profiling |
 //! | [`core`] | `freeride-core` | the FreeRide middleware itself |
 //! | [`rt`] | `freeride-rt` | the middleware on real OS threads |
 //!
@@ -57,6 +58,7 @@
 
 pub use freeride_core as core;
 pub use freeride_gpu as gpu;
+pub use freeride_obs as obs;
 pub use freeride_pipeline as pipeline;
 pub use freeride_rpc as rpc;
 pub use freeride_rt as rt;
@@ -80,6 +82,10 @@ pub mod prelude {
         DEFAULT_TENANT,
     };
     pub use freeride_gpu::{GpuDevice, GpuId, HardwareSpec, MemBytes, Priority, SharingKind};
+    pub use freeride_obs::{
+        MetricsRegistry, ProfileReport, SimTracer, TraceEvent, TraceEventKind, TraceSink,
+        TraceSummary,
+    };
     pub use freeride_pipeline::{
         run_training, BubbleKind, BubbleProfile, BubbleReport, ModelSpec, PipelineConfig,
         ScheduleKind,

@@ -11,6 +11,7 @@ use freeride::core::{
     TenantQuota, Transition, WorkerPolicy,
 };
 use freeride::gpu::{HardwareSpec, MemBytes, MemoryPool};
+use freeride::obs::SimTracer;
 use freeride::pipeline::{run_training, ModelSpec, PipelineConfig, Schedule, ScheduleKind};
 use freeride::sim::{EventQueue, SimDuration, SimTime};
 use freeride::tasks::WorkloadKind;
@@ -412,6 +413,96 @@ proptest! {
         let a = run();
         let b = run();
         prop_assert_eq!(digest(&a), digest(&b), "fault trace {:?} diverged on replay", events);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Observability is passive: arming a tracer on an arbitrary chaos
+    /// run — crashes, stragglers, OOM windows, RPC spikes, checkpoints,
+    /// supervision — must not move the simulation by a byte. The traced
+    /// run's digest (task outcomes, recoveries, rejections, event count,
+    /// makespan) equals the untraced run's, while the trace itself is
+    /// non-empty and internally consistent with the event stream it
+    /// observed.
+    #[test]
+    fn traced_run_replays_digest_identical_to_untraced(
+        events in prop::collection::vec(
+            (0u8..4, 500u64..11_000, 0usize..4, 200u64..3_000, 1u64..50),
+            0..5,
+        ),
+        supervise in any::<bool>(),
+    ) {
+        let plan = || {
+            let mut p = FaultPlan::new();
+            for (kind, at_ms, worker, dur_ms, lat_ms) in &events {
+                let at = SimTime::from_millis(*at_ms);
+                let dur = SimDuration::from_millis(*dur_ms);
+                p = match kind {
+                    0 => p.crash_worker(at, *worker, dur),
+                    1 => p.straggler(at, *worker, 0.25 + (*lat_ms as f64) / 100.0, dur),
+                    2 => p.oom_window(at, dur),
+                    _ => p.rpc_spike(at, *worker, SimDuration::from_millis(*lat_ms), dur),
+                };
+            }
+            p
+        };
+        let run = |traced: bool| {
+            let pipeline =
+                PipelineConfig::paper_default(ModelSpec::nanogpt_3_6b()).with_epochs(3);
+            let mut job = ClusterJob::new(pipeline)
+                .seed(0xD1CE)
+                .faults(plan())
+                .checkpoint(SimDuration::from_millis(700));
+            if supervise {
+                job = job.supervise(SupervisorConfig::new().hedge(0.5));
+            }
+            let mut builder = Cluster::builder().job(job).cost_report(false);
+            if traced {
+                builder = builder.trace(SimTracer::shared());
+            }
+            let mut cluster = builder.build();
+            for _ in 0..2 {
+                let _ =
+                    cluster.submit_with(Submission::new(WorkloadKind::PageRank), SubmitOptions::new());
+            }
+            let _ = cluster.submit_with(
+                Submission::new(WorkloadKind::ImageProc).at(SimTime::from_millis(3_300)),
+                SubmitOptions::new().retry(RetryPolicy::new(4, SimDuration::from_millis(250))),
+            );
+            cluster.run()
+        };
+        let digest = |r: &ClusterReport| {
+            let j = &r.jobs[0];
+            format!(
+                "{:?}|{:?}|{:?}|{}|{}|{}",
+                j.tasks
+                    .iter()
+                    .map(|t| (t.id, t.worker, t.steps, t.stop_reason))
+                    .collect::<Vec<_>>(),
+                j.recoveries,
+                r.health,
+                r.total_rejections(),
+                r.events_processed,
+                j.total_time,
+            )
+        };
+        let untraced = run(false);
+        let traced = run(true);
+        prop_assert_eq!(
+            digest(&untraced),
+            digest(&traced),
+            "tracing perturbed the run on fault trace {:?}",
+            events
+        );
+        prop_assert!(untraced.trace_summary.is_none(), "no sink, no summary");
+        let summary = traced.trace_summary.as_ref().expect("tracing armed");
+        prop_assert!(summary.events > 0, "armed tracer saw no events");
+        prop_assert!(
+            summary.by_kind.contains_key("bubble-begin"),
+            "training bubbles must be traced"
+        );
     }
 }
 

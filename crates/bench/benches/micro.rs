@@ -148,6 +148,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     // surfaces (`Simulation::events_processed` → `events_processed` on the
     // run): the single-run hot-path metric tracked in BENCH.json.
     {
+        // freeride: allow(no-wall-clock) -- bench harness measures real wall time; never feeds back into sim state
         let start = std::time::Instant::now();
         let run = run_colocation(
             &cfg,

@@ -13,6 +13,8 @@
 //! simulation, fanned across threads; output is identical for any thread
 //! count.
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, main_pipeline, BenchArgs};
 use freeride_core::{
     evaluate, run_baseline, run_baseline_with, run_colocation, FreeRideConfig, Misbehavior,

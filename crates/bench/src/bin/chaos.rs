@@ -12,6 +12,8 @@
 //! Run: `cargo run --release -p freeride-bench --bin chaos
 //! [epochs] [--threads N] [--seed N]`
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{chaos, header, BenchArgs};
 
 fn main() {

@@ -19,6 +19,8 @@
 //! Run: `cargo run --release -p freeride-bench --bin cluster
 //! [epochs] [--threads N]`
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, pct, BenchArgs};
 use freeride_core::{
     BestFitMemory, Cluster, ClusterJob, ClusterReport, FirstFit, LeastLoaded, MinTasksJob,

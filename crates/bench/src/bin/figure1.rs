@@ -3,6 +3,8 @@
 //!
 //! Run: `cargo run --release -p freeride-bench --bin figure1`
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, main_pipeline, BenchArgs};
 use freeride_pipeline::{run_training, ScheduleKind};
 use freeride_sim::{SimDuration, SimTime};

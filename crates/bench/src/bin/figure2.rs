@@ -7,6 +7,8 @@
 //! [epochs] [--threads N]` — one training simulation per row, fanned
 //! across threads; output is identical for any thread count.
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, BenchArgs};
 use freeride_pipeline::{run_training, ModelSpec, PipelineConfig, ScheduleKind};
 

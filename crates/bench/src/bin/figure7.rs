@@ -8,6 +8,8 @@
 //! [epochs] [--threads N]` — 51 independent simulations, fanned across
 //! threads; output is identical for any thread count.
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, BenchArgs};
 use freeride_core::{evaluate, run_baseline, run_colocation, FreeRideConfig, Submission};
 use freeride_pipeline::{ModelSpec, PipelineConfig};

@@ -9,6 +9,8 @@
 //! across threads; the epoch count is pinned (the demo's assertions
 //! depend on it) and output is identical for any thread count.
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{baseline_of, header, main_pipeline, BenchArgs};
 use freeride_core::{
     run_colocation, time_increase, ColocationRun, FreeRideConfig, Misbehavior, StopReason,

@@ -8,6 +8,8 @@
 //! [epochs] [--threads N]` — one simulation per row, fanned across
 //! threads; output is identical for any thread count.
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, main_pipeline, BenchArgs};
 use freeride_core::{run_colocation, FreeRideConfig, Submission};
 use freeride_tasks::WorkloadKind;

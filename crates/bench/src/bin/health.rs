@@ -11,6 +11,8 @@
 //! Run: `cargo run --release -p freeride-bench --bin health
 //! [epochs] [--threads N] [--seed N]`
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, health, BenchArgs};
 
 fn main() {

@@ -20,6 +20,8 @@
 //! Run: `cargo run --release -p freeride-bench --bin hetero
 //! [epochs] [--threads N]`
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, pct, BenchArgs};
 use freeride_core::{
     BestFitMemory, Cluster, ClusterJob, ClusterReport, FastestFit, FirstFit, LeastLoaded,

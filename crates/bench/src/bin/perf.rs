@@ -39,6 +39,8 @@
 //! Run: `cargo run --release -p freeride-bench --bin perf
 //! [epochs] [--threads N]`
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{
     all_methods, chaos, default_threads, health, main_pipeline, traffic, BenchArgs, SweepRunner,
 };
@@ -64,6 +66,7 @@ fn single_run(args: &BenchArgs) -> SingleRun {
     let subs = Submission::per_worker(WorkloadKind::PageRank, 4);
     // One warm-up, then the measured run.
     let _ = run_colocation(&pipeline, &cfg, &subs);
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let run = run_colocation(&pipeline, &cfg, &subs);
     let wall_s = start.elapsed().as_secs_f64();
@@ -146,6 +149,7 @@ fn obs_run(args: &BenchArgs) -> (SingleRun, ProfileReport, u64, String) {
     };
     // One warm-up, then the measured run.
     let _ = run_once();
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let (report, sink) = run_once();
     let wall_s = start.elapsed().as_secs_f64();
@@ -168,6 +172,7 @@ fn obs_run(args: &BenchArgs) -> (SingleRun, ProfileReport, u64, String) {
 fn cluster_perf(args: &BenchArgs) -> SingleRun {
     // One warm-up, then the measured run.
     let _ = cluster_run_once(args);
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let events = cluster_run_once(args);
     let wall_s = start.elapsed().as_secs_f64();
@@ -210,6 +215,7 @@ fn hetero_run_once(args: &BenchArgs) -> u64 {
 fn hetero_perf(args: &BenchArgs) -> SingleRun {
     // One warm-up, then the measured run.
     let _ = hetero_run_once(args);
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let events = hetero_run_once(args);
     let wall_s = start.elapsed().as_secs_f64();
@@ -244,6 +250,7 @@ fn traffic_run_once(args: &BenchArgs) -> u64 {
 fn traffic_perf(args: &BenchArgs) -> SingleRun {
     // One warm-up, then the measured run.
     let _ = traffic_run_once(args);
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let events = traffic_run_once(args);
     let wall_s = start.elapsed().as_secs_f64();
@@ -267,6 +274,7 @@ fn health_run_once(args: &BenchArgs) -> u64 {
 fn health_perf(args: &BenchArgs) -> SingleRun {
     // One warm-up, then the measured run.
     let _ = health_run_once(args);
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let events = health_run_once(args);
     let wall_s = start.elapsed().as_secs_f64();
@@ -281,6 +289,7 @@ fn health_perf(args: &BenchArgs) -> SingleRun {
 fn chaos_perf(args: &BenchArgs) -> SingleRun {
     // One warm-up, then the measured run.
     let _ = chaos_run_once(args);
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let events = chaos_run_once(args);
     let wall_s = start.elapsed().as_secs_f64();
@@ -347,6 +356,7 @@ fn print_bench_deltas(fresh: &[(&str, f64)]) {
 
 fn timed_sweep(runner: SweepRunner, args: &BenchArgs) -> (f64, u64) {
     let jobs = sweep_jobs(args);
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let start = Instant::now();
     let runs = runner.run(jobs);
     let wall = start.elapsed().as_secs_f64();
@@ -437,6 +447,7 @@ fn main() {
         ("speedup", speedup),
     ]);
 
+    // freeride: allow(no-wall-clock) -- perf bin measures real wall time; never feeds back into sim state
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

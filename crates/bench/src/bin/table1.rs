@@ -10,6 +10,8 @@
 //! [epochs] [--threads N]` — one simulation per workload, fanned across
 //! threads; output is identical for any thread count.
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, main_pipeline, paper_table1, BenchArgs};
 use freeride_core::{run_colocation, Submission};
 use freeride_tasks::WorkloadKind;

@@ -7,6 +7,8 @@
 //! [epochs] [--threads N]` — 28 independent simulations, fanned across
 //! threads; output is identical for any thread count.
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{
     all_methods, baseline_of, eval_method, header, main_pipeline, paper_table2, paper_table2_mixed,
     BenchArgs,

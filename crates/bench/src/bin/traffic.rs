@@ -12,6 +12,8 @@
 //! Run: `cargo run --release -p freeride-bench --bin traffic
 //! [epochs] [--threads N] [--seed N]`
 
+#![forbid(unsafe_code)]
+
 use freeride_bench::{header, traffic, BenchArgs};
 
 fn main() {

@@ -62,7 +62,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Liveness of one worker as judged by the [`FailureDetector`].
+///
+/// Marked `#[non_exhaustive]`: detector growth (e.g. a quarantine or
+/// degraded state) must not break downstream matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum HealthState {
     /// Heartbeats arrive on schedule.
     Healthy,
@@ -514,7 +518,10 @@ impl Supervisor {
 /// Why a recovered task recovered — the attribution
 /// [`DeploymentReport::recoveries`](crate::DeploymentReport::recoveries)
 /// keys latency stats on.
+/// Marked `#[non_exhaustive]`: each new recovery mechanism adds a kind
+/// (hedging was the latest), so downstream matches must carry a `_` arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum RecoveryKind {
     /// A retried submission finally stuck after transient rejections.
     Resubmit,

@@ -526,16 +526,18 @@ impl SideTaskManager {
 
             // Lines 11–15: pick the next task if the slot is free.
             if w.current_task.is_none() {
-                match w.task_queue.pop_front() {
-                    None => continue,
-                    Some(next) => w.current_task = Some(next),
-                }
+                w.current_task = w.task_queue.pop_front();
             }
 
-            // Lines 16–19: advance the current task.
-            let has_bubble = w.current_bubble.is_some_and(|b| b.predicted_end() > now);
-            let bubble_end = w.current_bubble.map(|b| b.predicted_end());
-            let cur = w.current_task.as_mut().expect("set above");
+            // Lines 16–19: advance the current task. `live_bubble_end` is
+            // `Some` exactly when the adopted bubble is still open at `now`.
+            let live_bubble_end = w
+                .current_bubble
+                .map(|b| b.predicted_end())
+                .filter(|&end| end > now);
+            let Some(cur) = w.current_task.as_mut() else {
+                continue;
+            };
             if cur.awaiting_ack {
                 continue;
             }
@@ -547,18 +549,20 @@ impl SideTaskManager {
                         task: cur.id,
                     });
                 }
-                SideTaskState::Paused if has_bubble => {
-                    cur.awaiting_ack = true;
-                    cmds.push(ManagerCmd::Start {
-                        worker: wi,
-                        task: cur.id,
-                        bubble_end: bubble_end.expect("has_bubble"),
-                    });
+                SideTaskState::Paused => {
+                    if let Some(bubble_end) = live_bubble_end {
+                        cur.awaiting_ack = true;
+                        cmds.push(ManagerCmd::Start {
+                            worker: wi,
+                            task: cur.id,
+                            bubble_end,
+                        });
+                    }
                 }
                 // Safety net: a task that became Running after its bubble
                 // already expired (Start ack raced the bubble end) must be
                 // paused, or it would run into training.
-                SideTaskState::Running if !has_bubble => {
+                SideTaskState::Running if live_bubble_end.is_none() => {
                     cur.awaiting_ack = true;
                     cmds.push(ManagerCmd::Pause {
                         worker: wi,
@@ -642,7 +646,9 @@ mod tests {
     fn algorithm1_picks_min_task_worker_with_enough_memory() {
         let mut m = manager();
         // 3 GiB task: workers 1, 2, 3 qualify; all empty → first wins.
-        let (w, cmd) = m.submit(TaskId(0), gib(3)).unwrap();
+        let (w, cmd) = m
+            .submit(TaskId(0), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 1);
         assert_eq!(
             cmd,
@@ -652,12 +658,18 @@ mod tests {
             }
         );
         // Next 3 GiB task: worker 1 now has one task → worker 2.
-        let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(1), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 2);
-        let (w, _) = m.submit(TaskId(2), gib(3)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(2), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 3);
         // Fourth: workers 1,2,3 all have 1 → min index wins again.
-        let (w, _) = m.submit(TaskId(3), gib(3)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(3), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 1);
     }
 
@@ -736,13 +748,17 @@ mod tests {
     #[test]
     fn small_task_can_go_anywhere() {
         let mut m = manager();
-        let (w, _) = m.submit(TaskId(0), gib(1)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(0), gib(1))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 0, "smallest-index empty worker");
     }
 
     /// Walks a task through Create→Init→Start acks.
     fn admit_and_ready(m: &mut SideTaskManager, id: TaskId, mem: MemBytes) -> usize {
-        let (w, _) = m.submit(id, mem).unwrap();
+        let (w, _) = m
+            .submit(id, mem)
+            .expect("a worker with free memory exists in this scenario");
         m.on_task_state(w, id, SideTaskState::Created);
         let cmds = m.poll(SimTime::ZERO);
         assert!(
@@ -810,7 +826,9 @@ mod tests {
     fn no_duplicate_commands_while_ack_pending() {
         let mut m = manager();
         let id = TaskId(1);
-        let (w, _) = m.submit(id, gib(3)).unwrap();
+        let (w, _) = m
+            .submit(id, gib(3))
+            .expect("a worker with free memory exists in this scenario");
         // Create ack pending: poll must not emit Init yet.
         assert!(m.poll(t(1)).is_empty());
         m.on_task_state(w, id, SideTaskState::Created);
@@ -838,8 +856,10 @@ mod tests {
         let mut m = SideTaskManager::new(vec![gib(10)]);
         let a = TaskId(1);
         let b = TaskId(2);
-        m.submit(a, gib(3)).unwrap();
-        m.submit(b, gib(3)).unwrap();
+        m.submit(a, gib(3))
+            .expect("a worker with free memory exists in this scenario");
+        m.submit(b, gib(3))
+            .expect("a worker with free memory exists in this scenario");
         m.on_task_state(0, a, SideTaskState::Created);
         m.on_task_state(0, b, SideTaskState::Created);
         // First poll: a becomes current, gets Init.
@@ -857,7 +877,8 @@ mod tests {
     fn queue_is_fifo_by_submission() {
         let mut m = SideTaskManager::new(vec![gib(10)]);
         for i in 0..3 {
-            m.submit(TaskId(i), gib(1)).unwrap();
+            m.submit(TaskId(i), gib(1))
+                .expect("a worker with free memory exists in this scenario");
             m.on_task_state(0, TaskId(i), SideTaskState::Created);
         }
         m.poll(t(1));
@@ -870,8 +891,10 @@ mod tests {
         let mut m = SideTaskManager::new(vec![gib(10), gib(10)]);
         let a = TaskId(1);
         let b = TaskId(2);
-        m.submit(a, gib(3)).unwrap();
-        m.submit(b, gib(3)).unwrap();
+        m.submit(a, gib(3))
+            .expect("a worker with free memory exists in this scenario");
+        m.submit(b, gib(3))
+            .expect("a worker with free memory exists in this scenario");
         m.on_task_state(0, a, SideTaskState::Created);
         m.on_task_state(1, b, SideTaskState::Created);
         m.poll(t(1));
@@ -902,18 +925,26 @@ mod tests {
     #[test]
     fn first_fit_policy_ignores_load() {
         let mut m = manager().with_policy(WorkerPolicy::FirstFit);
-        let (w, _) = m.submit(TaskId(0), gib(3)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(0), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 1);
-        let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(1), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 1, "first fit piles onto the same worker");
     }
 
     #[test]
     fn most_memory_policy_prefers_late_stages() {
         let mut m = manager().with_policy(WorkerPolicy::MostMemory);
-        let (w, _) = m.submit(TaskId(0), gib(3)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(0), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 3, "stage 3 has the most bubble memory");
-        let (w, _) = m.submit(TaskId(1), gib(3)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(1), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 3);
     }
 
@@ -922,7 +953,9 @@ mod tests {
         let mut m = manager();
         // Pinned to worker 0 (2 GiB): a 1 GiB task fits, a 3 GiB task is
         // rejected against *that* worker even though worker 3 could host it.
-        let (w, cmd) = m.submit_to(TaskId(0), gib(1), 0).unwrap();
+        let (w, cmd) = m
+            .submit_to(TaskId(0), gib(1), 0)
+            .expect("pinned worker accepts the task in this scenario");
         assert_eq!(w, 0);
         assert_eq!(
             cmd,
@@ -940,7 +973,9 @@ mod tests {
         );
         // Pinning overrides load balancing: a second task lands on the
         // same pinned worker.
-        let (w, _) = m.submit_to(TaskId(2), gib(1), 0).unwrap();
+        let (w, _) = m
+            .submit_to(TaskId(2), gib(1), 0)
+            .expect("pinned worker accepts the task in this scenario");
         assert_eq!(w, 0);
         assert_eq!(m.worker(0).task_count(), 2);
     }
@@ -948,8 +983,10 @@ mod tests {
     #[test]
     fn admitted_mem_tracks_queue() {
         let mut m = SideTaskManager::new(vec![gib(10)]);
-        m.submit(TaskId(1), gib(2)).unwrap();
-        m.submit(TaskId(2), gib(3)).unwrap();
+        m.submit(TaskId(1), gib(2))
+            .expect("a worker with free memory exists in this scenario");
+        m.submit(TaskId(2), gib(3))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(m.admitted_mem(0), gib(5));
     }
 
@@ -970,7 +1007,9 @@ mod tests {
         let mut m = manager().with_policy(WorkerPolicy::FirstFit);
         // FirstFit piles all three 1 GiB tasks onto worker 0 (2 GiB).
         for id in [7, 8, 9] {
-            let (w, _) = m.submit(TaskId(id), gib(1)).unwrap();
+            let (w, _) = m
+                .submit(TaskId(id), gib(1))
+                .expect("a worker with free memory exists in this scenario");
             assert_eq!(w, 0);
         }
         // Promote task 7 to current: ack Create, adopt a bubble, poll.
@@ -985,7 +1024,9 @@ mod tests {
         assert_eq!(m.worker(0).task_count(), 0);
         assert!(m.worker(0).current_bubble().is_none());
         // The worker stays selectable: a restart re-admits onto it.
-        let (w, _) = m.submit(TaskId(10), gib(1)).unwrap();
+        let (w, _) = m
+            .submit(TaskId(10), gib(1))
+            .expect("a worker with free memory exists in this scenario");
         assert_eq!(w, 0);
     }
 }

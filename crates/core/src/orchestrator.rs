@@ -1529,6 +1529,7 @@ impl World for ClusterWorld {
             return;
         }
         let bucket = event.ev.subsystem();
+        // freeride: allow(no-wall-clock) -- obs wall-profiling seam: attributes real dispatch cost, sim clock never reads it
         let start = std::time::Instant::now();
         let job = &mut self.jobs[event.job];
         job.events_processed += 1;

@@ -40,7 +40,12 @@ pub enum Misbehavior {
 }
 
 /// Why a task reached `STOPPED`.
+///
+/// Marked `#[non_exhaustive]`: the stop vocabulary grows with every
+/// resilience mechanism (most recently `WorkerLost` and `HedgeLost`), so
+/// downstream matches must carry a `_` arm instead of breaking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum StopReason {
     /// Still running / never stopped.
     NotStopped,

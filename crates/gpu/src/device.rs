@@ -68,7 +68,11 @@ impl GpuProcess {
 }
 
 /// Error launching a kernel.
+///
+/// Marked `#[non_exhaustive]`: device-model growth adds launch failure
+/// modes, so downstream matches must carry a `_` arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LaunchError {
     /// The process id was never registered on this device.
     UnknownProcess,

@@ -125,7 +125,11 @@ impl fmt::Display for MemBytes {
 }
 
 /// Why an allocation was refused.
+///
+/// Marked `#[non_exhaustive]`: new sharing backends bring new refusal
+/// kinds, so downstream matches must carry a `_` arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum OomKind {
     /// The process would exceed its MPS memory cap; only this process is
     /// affected (paper §4.5: "other processes remain unaffected").

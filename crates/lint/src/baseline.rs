@@ -1,0 +1,131 @@
+//! The panic-discipline ratchet baseline (`lint-baseline.json`).
+//!
+//! The committed baseline records, per crate, how many panic sites
+//! (`.unwrap(` / `.expect(` / `panic!` / `unreachable!` in non-test code)
+//! the crate is *allowed* to contain. The analyzer fails when a crate
+//! exceeds its budget, and `--update-baseline` refuses to ever raise a
+//! number — legacy debt can only shrink. Raising a budget is a deliberate
+//! reviewed act: edit the JSON by hand and defend it in the PR.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// File name of the committed baseline, at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+const SECTION: &str = "panic-discipline";
+
+/// Loads the committed per-crate panic budgets. A missing file reads as
+/// an empty baseline (every crate budgeted at zero).
+pub fn load(root: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let path = root.join(BASELINE_FILE);
+    if !path.is_file() {
+        return Ok(BTreeMap::new());
+    }
+    let text = crate::engine::read_text(&path)?;
+    let raw = json::section_entries(&text, SECTION).map_err(|e| format!("{BASELINE_FILE}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (k, v) in raw {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("{BASELINE_FILE}: `{k}` has non-numeric budget `{v}`"))?;
+        out.insert(k, n);
+    }
+    Ok(out)
+}
+
+/// Writes `counts` as the new baseline, enforcing the ratchet: if an
+/// existing baseline has a *lower* budget for any crate, the update is
+/// refused and the offending crates are returned as the error.
+pub fn save(root: &Path, counts: &BTreeMap<String, usize>) -> Result<(), String> {
+    let existing = load(root)?;
+    let mut raised: Vec<String> = Vec::new();
+    for (name, &count) in counts {
+        if let Some(&budget) = existing.get(name) {
+            if count > budget {
+                raised.push(format!("{name} ({budget} -> {count})"));
+            }
+        }
+    }
+    if !raised.is_empty() {
+        return Err(format!(
+            "refusing to raise panic budgets (the ratchet only shrinks): {}; \
+             fix the new panic sites, or raise the budget by hand in {BASELINE_FILE} \
+             and defend it in review",
+            raised.join(", ")
+        ));
+    }
+    let body = format!(
+        "{{\n  \"version\": 1,\n{}\n}}\n",
+        json::render_section(SECTION, counts, false)
+    );
+    std::fs::write(root.join(BASELINE_FILE), body)
+        .map_err(|e| format!("write {BASELINE_FILE}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("freeride-lint-baseline-{tag}"));
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::remove_file(dir.join(BASELINE_FILE));
+        dir
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let root = tmp_root("missing");
+        let loaded = match load(&root) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        };
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let root = tmp_root("round");
+        let mut counts = BTreeMap::new();
+        counts.insert("freeride-core".to_string(), 45usize);
+        counts.insert("freeride-lint".to_string(), 0usize);
+        if let Err(e) = save(&root, &counts) {
+            panic!("{e}");
+        }
+        let loaded = match load(&root) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(loaded.get("freeride-core"), Some(&45));
+        assert_eq!(loaded.get("freeride-lint"), Some(&0));
+    }
+
+    #[test]
+    fn ratchet_refuses_to_raise() {
+        let root = tmp_root("ratchet");
+        let mut counts = BTreeMap::new();
+        counts.insert("freeride-core".to_string(), 10usize);
+        if let Err(e) = save(&root, &counts) {
+            panic!("{e}");
+        }
+        // Shrinking is fine.
+        counts.insert("freeride-core".to_string(), 8usize);
+        if let Err(e) = save(&root, &counts) {
+            panic!("{e}");
+        }
+        // Raising is refused, and the old baseline survives.
+        counts.insert("freeride-core".to_string(), 9usize);
+        let err = match save(&root, &counts) {
+            Ok(()) => panic!("raise must be refused"),
+            Err(e) => e,
+        };
+        assert!(err.contains("ratchet"), "{err}");
+        let loaded = match load(&root) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(loaded.get("freeride-core"), Some(&8));
+    }
+}

@@ -1,0 +1,317 @@
+//! Workspace walking and per-file analysis: ties the lexer, the rules,
+//! and the waiver channel together.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules::{self, FileCtx, Finding, PANIC_DISCIPLINE, WAIVER_DISCIPLINE};
+use crate::waiver::parse_waivers;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names the walker never descends into. `vendor/` is covered
+/// by the integrity manifest instead; `fixtures/` holds deliberate rule
+/// violations for the lint crate's own tests.
+const SKIP_DIRS: [&str; 4] = [".git", "target", "vendor", "fixtures"];
+
+/// Analysis result for one file.
+#[derive(Debug)]
+pub struct FileReport {
+    /// Findings after waiver suppression, in line order.
+    pub findings: Vec<Finding>,
+    /// Panic sites after waiver suppression: `(line, which)`.
+    pub panic_sites: Vec<(u32, String)>,
+}
+
+/// Analyzes one file's source. `path` must be repo-relative with forward
+/// slashes — rule allowlists and test-code classification key off it.
+pub fn analyze_source(path: &str, src: &str) -> FileReport {
+    let tokens = lex(src);
+    let code: Vec<Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .copied()
+        .collect();
+    let mut findings = Vec::new();
+    let mut waivers = parse_waivers(src, &tokens, &mut findings);
+    let ctx = FileCtx {
+        path,
+        src,
+        code: &code,
+        is_test_code: rules::path_is_test_code(path),
+        is_crate_root: rules::path_is_crate_root(path),
+        cfg_test_lines: rules::cfg_test_ranges(src, &code),
+    };
+
+    let mut raw = Vec::new();
+    rules::no_wall_clock(&ctx, &mut raw);
+    rules::no_ambient_rng(&ctx, &mut raw);
+    rules::no_hash_collections(&ctx, &mut raw);
+    rules::forbid_unsafe(&ctx, &mut raw);
+    rules::non_exhaustive_vocabulary(&ctx, &mut raw);
+
+    // Waiver suppression: a finding is dropped when a waiver for its rule
+    // covers its line; the waiver is then accounted as used.
+    for finding in raw {
+        let mut suppressed = false;
+        for w in waivers.iter_mut() {
+            if w.covers(finding.rule, finding.line) {
+                w.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            findings.push(finding);
+        }
+    }
+    let mut panic_sites = Vec::new();
+    for (line, which) in rules::panic_sites(&ctx) {
+        let mut suppressed = false;
+        for w in waivers.iter_mut() {
+            if w.covers(PANIC_DISCIPLINE, line) {
+                w.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            panic_sites.push((line, which));
+        }
+    }
+    for w in &waivers {
+        if !w.used {
+            findings.push(Finding {
+                rule: WAIVER_DISCIPLINE,
+                line: w.line,
+                message: format!(
+                    "stale waiver: allow({}) suppressed nothing on lines {}-{}",
+                    w.rules.join(", "),
+                    w.line,
+                    w.line + 1
+                ),
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    FileReport {
+        findings,
+        panic_sites,
+    }
+}
+
+/// Whole-workspace analysis result.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All findings, as `(repo-relative path, finding)`, path-then-line
+    /// ordered.
+    pub findings: Vec<(String, Finding)>,
+    /// Panic sites per crate (the panic-discipline ratchet input).
+    pub panic_counts: BTreeMap<String, usize>,
+    /// Every individual panic site: `(path, line, which)`.
+    pub panic_site_list: Vec<(String, u32, String)>,
+    /// Files scanned per crate.
+    pub files_per_crate: BTreeMap<String, usize>,
+    /// Total files scanned.
+    pub files_scanned: usize,
+}
+
+/// Maps `crates/<dir>/` path prefixes to package names by reading each
+/// crate's `Cargo.toml`; everything outside `crates/` belongs to the root
+/// facade package.
+pub struct CrateMap {
+    prefixes: Vec<(String, String)>,
+    root_package: String,
+}
+
+impl CrateMap {
+    /// Builds the map for the workspace at `root`.
+    pub fn discover(root: &Path) -> Result<CrateMap, String> {
+        let mut prefixes = Vec::new();
+        let crates_dir = root.join("crates");
+        for entry in read_dir_sorted(&crates_dir)? {
+            let manifest = entry.join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            let dir_name = file_name_str(&entry);
+            let name = package_name(&manifest)?;
+            prefixes.push((format!("crates/{dir_name}/"), name));
+        }
+        let root_package = package_name(&root.join("Cargo.toml"))?;
+        Ok(CrateMap {
+            prefixes,
+            root_package,
+        })
+    }
+
+    /// The owning package of a repo-relative path.
+    pub fn crate_of(&self, rel_path: &str) -> &str {
+        for (prefix, name) in &self.prefixes {
+            if rel_path.starts_with(prefix.as_str()) {
+                return name;
+            }
+        }
+        &self.root_package
+    }
+}
+
+/// Extracts `name = "…"` from a Cargo manifest (first match wins: the
+/// `[package]` section leads every manifest in this workspace).
+fn package_name(manifest: &Path) -> Result<String, String> {
+    let text = read_text(manifest)?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let rest = rest.trim();
+                let name: String = rest.trim_matches('"').to_string();
+                return Ok(name);
+            }
+        }
+    }
+    Err(format!("no package name in {}", manifest.display()))
+}
+
+/// Analyzes every non-vendored `.rs` file under `root`.
+pub fn analyze_workspace(root: &Path) -> Result<WorkspaceReport, String> {
+    let crate_map = CrateMap::discover(root)?;
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut report = WorkspaceReport::default();
+    for abs in &files {
+        let rel = rel_path(root, abs);
+        let src = read_text(abs)?;
+        let file_report = analyze_source(&rel, &src);
+        let crate_name = crate_map.crate_of(&rel).to_string();
+        *report
+            .files_per_crate
+            .entry(crate_name.clone())
+            .or_insert(0) += 1;
+        report.files_scanned += 1;
+        for finding in file_report.findings {
+            report.findings.push((rel.clone(), finding));
+        }
+        if !file_report.panic_sites.is_empty() {
+            *report.panic_counts.entry(crate_name).or_insert(0) += file_report.panic_sites.len();
+            for (line, which) in file_report.panic_sites {
+                report.panic_site_list.push((rel.clone(), line, which));
+            }
+        }
+    }
+    // Every crate appears in the counts, even at zero: the ratchet then
+    // covers new panic-free crates from their first commit.
+    for (_, name) in &crate_map.prefixes {
+        report.panic_counts.entry(name.clone()).or_insert(0);
+    }
+    report
+        .panic_counts
+        .entry(crate_map.root_package)
+        .or_insert(0);
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        let name = file_name_str(&entry);
+        if entry.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs_files(&entry, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with forward slashes.
+fn rel_path(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+fn file_name_str(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+/// Sorted directory listing (determinism: the report must not depend on
+/// filesystem iteration order). Missing directories read as empty.
+pub(crate) fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries = Vec::new();
+    let iter = match fs::read_dir(dir) {
+        Ok(iter) => iter,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(format!("read_dir {}: {e}", dir.display())),
+    };
+    for entry in iter {
+        match entry {
+            Ok(e) => entries.push(e.path()),
+            Err(e) => return Err(format!("read_dir {}: {e}", dir.display())),
+        }
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+pub(crate) fn read_text(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_suppresses_and_counts_as_used() {
+        let src = "// freeride: allow(no-wall-clock) -- bench wall-time\n\
+                   fn f() { let t = Instant::now(); }\n";
+        let report = analyze_source("crates/bench/src/x.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses_same_line() {
+        let src =
+            "fn f() { let t = Instant::now(); } // freeride: allow(no-wall-clock) -- timing\n";
+        let report = analyze_source("crates/bench/src/x.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn stale_waiver_is_reported() {
+        let src = "// freeride: allow(no-wall-clock) -- nothing here\nfn f() {}\n";
+        let report = analyze_source("crates/bench/src/x.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "waiver-discipline");
+        assert!(report.findings[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn waived_panic_site_is_not_counted() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // freeride: allow(panic-discipline) -- invariant: always Some\n\
+                   x.unwrap()\n\
+                   }\n";
+        let report = analyze_source("crates/core/src/x.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn unwaived_violation_survives() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let report = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "no-wall-clock");
+        assert_eq!(report.findings[0].line, 1);
+    }
+}

@@ -1,0 +1,472 @@
+//! A comment/string/raw-string-aware Rust tokenizer.
+//!
+//! This is *not* a full Rust lexer: it produces exactly the token stream
+//! the rule engine needs — identifiers, punctuation, and literals, with
+//! comments preserved on a separate channel for waiver parsing. What it
+//! gets right, because the rules depend on it, is the *boundaries*:
+//!
+//! - nested block comments (`/* /* */ */`) to arbitrary depth,
+//! - raw strings (`r"…"`, `r#"…"#`, any hash count) and their byte
+//!   variants, so a rule keyword inside a raw string never fires a rule,
+//! - raw identifiers (`r#fn`),
+//! - lifetimes vs character literals (`'a` vs `'a'`),
+//! - doc comments (`///`, `//!`, `/** */`) lexed as ordinary comments, so
+//!   prose mentioning `HashSet` or `Instant::now` is invisible to rules.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#async`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct(char),
+    /// A string literal, including byte strings (`"…"`, `b"…"`).
+    Str,
+    /// A raw string literal, including raw byte strings (`r#"…"#`).
+    RawStr,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A numeric literal (`42`, `0xFF`, `1_000.5e3`).
+    Number,
+    /// A `//` comment (plain or doc) up to, excluding, the newline.
+    LineComment,
+    /// A `/* … */` comment (plain or doc), possibly nested and multiline.
+    BlockComment,
+}
+
+/// One token: kind plus byte span and 1-based start line in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True if this token is an identifier spelling exactly `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == name
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.src.get(self.pos + offset..)?.chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Byte at `pos + offset`, if any (ASCII-oriented fast path).
+    fn byte_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+}
+
+/// Lexes `src` into a flat token stream, comments included.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            '/' if cur.byte_at(1) == Some(b'/') => {
+                cur.eat_while(|c| c != '\n');
+                TokKind::LineComment
+            }
+            '/' if cur.byte_at(1) == Some(b'*') => {
+                lex_block_comment(&mut cur);
+                TokKind::BlockComment
+            }
+            '"' => {
+                cur.bump();
+                lex_string_body(&mut cur);
+                TokKind::Str
+            }
+            '\'' => lex_quote(&mut cur),
+            'r' | 'b' => lex_r_or_b(&mut cur),
+            _ if is_ident_start(c) => {
+                cur.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+            _ if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokKind::Number
+            }
+            _ => {
+                cur.bump();
+                TokKind::Punct(c)
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    out
+}
+
+/// Consumes a (possibly nested) block comment, opener included.
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.byte_at(0), cur.byte_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: stop at EOF
+        }
+    }
+}
+
+/// Consumes a string body after the opening `"`, honouring escapes.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // escaped char, including \" and \\
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string after the `r` (and optional `b`) prefix: zero or
+/// more `#`, a `"`, then everything up to `"` followed by that many `#`.
+fn lex_raw_string_body(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.byte_at(0) == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    cur.bump(); // opening '"'
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.byte_at(0) == Some(b'#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// Disambiguates `'` into a lifetime/label or a character literal.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // opening '
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: '\n', '\'', '\u{1F600}'.
+            cur.bump();
+            if cur.peek() == Some('u') {
+                cur.bump();
+                if cur.peek() == Some('{') {
+                    cur.eat_while(|c| c != '}');
+                    cur.bump();
+                }
+            } else {
+                cur.bump();
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // 'a' is a char literal; 'a (no closing quote) is a lifetime.
+            // Look past the full ident: lifetimes never end with '.
+            let mut offset = c.len_utf8();
+            while let Some(n) = cur.peek_at(offset) {
+                if is_ident_continue(n) {
+                    offset += n.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek_at(offset) == Some('\'') {
+                cur.bump(); // the single char
+                cur.bump(); // closing '
+                TokKind::Char
+            } else {
+                cur.eat_while(is_ident_continue);
+                TokKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal: '(', ' ', '\t' handled above.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        None => TokKind::Punct('\''),
+    }
+}
+
+/// Disambiguates a leading `r` / `b` into a raw string, byte string, byte
+/// char, raw identifier, or a plain identifier.
+fn lex_r_or_b(cur: &mut Cursor<'_>) -> TokKind {
+    let first = cur.peek().unwrap_or('r'); // non-empty: caller peeked
+    match (first, cur.byte_at(1), cur.byte_at(2)) {
+        // r"…" or r#…# raw string (r#ident is a raw identifier instead).
+        ('r', Some(b'"'), _) => {
+            cur.bump();
+            lex_raw_string_body(cur);
+            TokKind::RawStr
+        }
+        ('r', Some(b'#'), Some(n)) if n == b'"' || n == b'#' => {
+            cur.bump();
+            lex_raw_string_body(cur);
+            TokKind::RawStr
+        }
+        ('r', Some(b'#'), Some(n)) if is_ident_start(n as char) => {
+            cur.bump(); // r
+            cur.bump(); // #
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+        // b"…", br"…", br#"…"#, b'…'.
+        ('b', Some(b'"'), _) => {
+            cur.bump();
+            cur.bump();
+            lex_string_body(cur);
+            TokKind::Str
+        }
+        ('b', Some(b'\''), _) => {
+            cur.bump();
+            lex_quote(cur);
+            TokKind::Char
+        }
+        ('b', Some(b'r'), Some(n)) if n == b'"' || n == b'#' => {
+            cur.bump(); // b
+            cur.bump(); // r
+            lex_raw_string_body(cur);
+            TokKind::RawStr
+        }
+        _ => {
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+    }
+}
+
+/// Consumes a numeric literal (loosely: enough to not swallow quotes).
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                cur.bump();
+            }
+            // A decimal point only when followed by a digit, so `1..10`
+            // leaves the range dots alone.
+            Some('.') if cur.peek_at(1).is_some_and(|n| n.is_ascii_digit()) => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let src = "let x = Instant::now();";
+        assert_eq!(idents(src), vec!["let", "x", "Instant", "now"]);
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let src = r#"let s = "Instant::now() HashMap unwrap";"#;
+        assert_eq!(idents(src), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_keywords_and_quotes() {
+        let src = r##"let s = r#"a "quoted" Instant::now()"#; let y = thread_rng;"##;
+        assert_eq!(idents(src), vec!["let", "s", "let", "y", "thread_rng"]);
+    }
+
+    #[test]
+    fn raw_string_many_hashes() {
+        let src = "let s = r###\"one \"# two\"## three\"###; HashMap";
+        assert_eq!(idents(src), vec!["let", "s", "HashMap"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"unwrap"; let b2 = br#"expect"#; panic"##;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "panic"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner HashMap */ still comment unwrap */ code";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(idents(src), vec!["code"]);
+    }
+
+    #[test]
+    fn line_comments_end_at_newline() {
+        let src = "// HashMap unwrap\nreal_ident";
+        assert_eq!(idents(src), vec!["real_ident"]);
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[0].text(src), "// HashMap unwrap");
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } }";
+        let toks = lex(src);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'outer", "'outer"]);
+    }
+
+    #[test]
+    fn char_literals_close() {
+        let src = "let c = 'x'; let q = '\\''; let n = '\\n'; ident_after";
+        let chars = lex(src).iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+        assert!(idents(src).contains(&"ident_after"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#fn = 1; r#unwrap";
+        let toks = lex(src);
+        let raw: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(raw, vec!["let", "r#fn", "r#unwrap"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_quotes() {
+        let src = "for i in 0..10 { let f = 1.5e3; let h = 0xFF_u8; } 'a'";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+        let numbers = toks.iter().filter(|t| t.kind == TokKind::Number).count();
+        assert_eq!(numbers, 4);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_across_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"multi\nline\" c";
+        let toks = lex(src);
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(src, name))
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+
+    #[test]
+    fn unterminated_forms_stop_at_eof() {
+        // Never panic or loop on malformed input: the analyzer must
+        // survive any file the walker feeds it.
+        for src in ["/* open", "\"open", "r#\"open", "'", "b\"open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+}

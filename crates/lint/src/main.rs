@@ -1,0 +1,233 @@
+//! `freeride-analyze`: CLI front-end for the determinism-contract
+//! analyzer. See the crate docs of `freeride-lint` and the repository
+//! README ("Static analysis") for the rule catalog and waiver syntax.
+
+#![forbid(unsafe_code)]
+
+use freeride_lint::rules::{PANIC_DISCIPLINE, VENDOR_INTEGRITY};
+use freeride_lint::{baseline, engine, vendor};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+USAGE: freeride-analyze [OPTIONS]
+
+Walks the workspace (skipping vendor/ and target/), checks every .rs file
+against the determinism-contract rules, and exits nonzero on any new
+violation.
+
+OPTIONS:
+    --root <DIR>              workspace root (default: nearest ancestor
+                              with Cargo.toml + crates/)
+    --update-baseline         rewrite lint-baseline.json with the current
+                              panic counts (refuses to raise any budget)
+    --update-vendor-manifest  rewrite vendor-manifest.json from the
+                              current vendor/ tree
+    --panics                  list every counted panic site
+    -h, --help                print this help
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    update_baseline: bool,
+    update_vendor_manifest: bool,
+    list_panics: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        update_baseline: false,
+        update_vendor_manifest: false,
+        list_panics: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => args.root = Some(PathBuf::from(dir)),
+                None => return Err("--root needs a directory".to_string()),
+            },
+            "--update-baseline" => args.update_baseline = true,
+            "--update-vendor-manifest" => args.update_vendor_manifest = true,
+            "--panics" => args.list_panics = true,
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown option `{other}`; see --help")),
+        }
+    }
+    Ok(Some(args))
+}
+
+/// The workspace root: `--root`, or the nearest ancestor of the current
+/// directory containing both `Cargo.toml` and `crates/`.
+fn find_root(args: &Args) -> Result<PathBuf, String> {
+    if let Some(root) = &args.root {
+        return Ok(root.clone());
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace root above {} (looked for Cargo.toml + crates/); \
+                     pass --root",
+                    cwd.display()
+                ))
+            }
+        }
+    }
+}
+
+fn main() {
+    let code = match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("freeride-analyze: error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run() -> Result<i32, String> {
+    let args = match parse_args()? {
+        Some(args) => args,
+        None => {
+            print!("{USAGE}");
+            return Ok(0);
+        }
+    };
+    let root = find_root(&args)?;
+    let report = engine::analyze_workspace(&root)?;
+
+    // (path, line, rule, message); line 0 renders without a line number.
+    let mut findings: Vec<(String, u32, &'static str, String)> = report
+        .findings
+        .iter()
+        .map(|(path, f)| (path.clone(), f.line, f.rule, f.message.clone()))
+        .collect();
+
+    // Vendor integrity.
+    let vendor_hashes = vendor::hash_vendor(&root)?;
+    if args.update_vendor_manifest {
+        vendor::save(&root, &vendor_hashes)?;
+        println!(
+            "wrote {} ({} vendored files pinned)",
+            vendor::MANIFEST_FILE,
+            vendor_hashes.len()
+        );
+    } else {
+        match vendor::load(&root)? {
+            None => findings.push((
+                vendor::MANIFEST_FILE.to_string(),
+                0,
+                VENDOR_INTEGRITY,
+                "missing vendor manifest; run --update-vendor-manifest and commit it".to_string(),
+            )),
+            Some(manifest) => {
+                for violation in vendor::diff(&vendor_hashes, &manifest) {
+                    findings.push((
+                        vendor::MANIFEST_FILE.to_string(),
+                        0,
+                        VENDOR_INTEGRITY,
+                        violation,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Panic-discipline ratchet.
+    let mut below_budget: Vec<String> = Vec::new();
+    if args.update_baseline {
+        baseline::save(&root, &report.panic_counts)?;
+        println!(
+            "wrote {} ({} crates budgeted)",
+            baseline::BASELINE_FILE,
+            report.panic_counts.len()
+        );
+    }
+    let budgets = baseline::load(&root)?;
+    if !args.update_baseline {
+        for (name, &count) in &report.panic_counts {
+            let budget = budgets.get(name).copied().unwrap_or(0);
+            if count > budget {
+                findings.push((
+                    format!("crate {name}"),
+                    0,
+                    PANIC_DISCIPLINE,
+                    format!(
+                        "{count} panic sites in non-test code exceed the budget of {budget}; \
+                         restructure the new sites (see --panics), waive them with a reason, \
+                         or defend a hand-raised budget in {}",
+                        baseline::BASELINE_FILE
+                    ),
+                ));
+            } else if count < budget {
+                below_budget.push(format!("{name} ({count} < {budget})"));
+            }
+        }
+    }
+
+    if args.list_panics {
+        for (path, line, which) in &report.panic_site_list {
+            println!("{path}:{line}: panic site `{which}`");
+        }
+    }
+
+    findings.sort();
+    for (path, line, rule, message) in &findings {
+        if *line == 0 {
+            println!("{path}: {rule} — {message}");
+        } else {
+            println!("{path}:{line}: {rule} — {message}");
+        }
+    }
+
+    print_summary(&report, &budgets);
+    if !below_budget.is_empty() {
+        println!(
+            "note: below panic budget: {}; ratchet down with --update-baseline",
+            below_budget.join(", ")
+        );
+    }
+    if findings.is_empty() {
+        println!(
+            "freeride-analyze: clean — {} files, {} vendored files pinned, 0 findings",
+            report.files_scanned,
+            vendor_hashes.len()
+        );
+        Ok(0)
+    } else {
+        println!(
+            "freeride-analyze: {} finding(s) across {} files",
+            findings.len(),
+            report.files_scanned
+        );
+        Ok(1)
+    }
+}
+
+fn print_summary(report: &engine::WorkspaceReport, budgets: &BTreeMap<String, usize>) {
+    let width = report
+        .panic_counts
+        .keys()
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(8)
+        .max("crate".len());
+    println!(
+        "{:<width$}  {:>5}  {:>6}  {:>6}",
+        "crate", "files", "panics", "budget"
+    );
+    for (name, &count) in &report.panic_counts {
+        let files = report.files_per_crate.get(name).copied().unwrap_or(0);
+        let budget = budgets.get(name).copied().unwrap_or(0);
+        println!("{name:<width$}  {files:>5}  {count:>6}  {budget:>6}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Vendor-integrity checking (`vendor-manifest.json`).
+//!
+//! The offline stand-ins under `vendor/` impersonate real registry crates,
+//! which makes silent edits to them uniquely dangerous: a behavioural
+//! tweak to `vendor/rand` would skew every "rand-seeded" result while
+//! still *looking* like upstream. The committed manifest pins an FNV-1a
+//! hash of every vendored file; the analyzer fails when a vendored file
+//! changes, appears, or disappears without `--update-vendor-manifest`
+//! being run (and the regenerated manifest reviewed) in the same change.
+
+use crate::engine::read_dir_sorted;
+use crate::json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// File name of the committed manifest, at the workspace root.
+pub const MANIFEST_FILE: &str = "vendor-manifest.json";
+
+const SECTION: &str = "files";
+
+/// 64-bit FNV-1a. Not cryptographic — the threat model is accidental or
+/// unreviewed edits, not an adversary forging collisions in-repo.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Hashes every file under `root/vendor/` into repo-relative path → hex.
+pub fn hash_vendor(root: &Path) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    let vendor = root.join("vendor");
+    hash_dir(root, &vendor, &mut out)?;
+    Ok(out)
+}
+
+fn hash_dir(root: &Path, dir: &Path, out: &mut BTreeMap<String, String>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            hash_dir(root, &entry, out)?;
+        } else {
+            let bytes =
+                std::fs::read(&entry).map_err(|e| format!("read {}: {e}", entry.display()))?;
+            let rel: Vec<String> = entry
+                .strip_prefix(root)
+                .unwrap_or(&entry)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect();
+            out.insert(rel.join("/"), format!("{:016x}", fnv1a64(&bytes)));
+        }
+    }
+    Ok(())
+}
+
+/// Loads the committed manifest; `None` when it has never been generated.
+pub fn load(root: &Path) -> Result<Option<BTreeMap<String, String>>, String> {
+    let path = root.join(MANIFEST_FILE);
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = crate::engine::read_text(&path)?;
+    json::section_entries(&text, SECTION)
+        .map(Some)
+        .map_err(|e| format!("{MANIFEST_FILE}: {e}"))
+}
+
+/// Writes `hashes` as the new committed manifest.
+pub fn save(root: &Path, hashes: &BTreeMap<String, String>) -> Result<(), String> {
+    let body = format!(
+        "{{\n  \"version\": 1,\n  \"algorithm\": \"fnv1a64\",\n{}\n}}\n",
+        json::render_section(SECTION, hashes, true)
+    );
+    std::fs::write(root.join(MANIFEST_FILE), body)
+        .map_err(|e| format!("write {MANIFEST_FILE}: {e}"))
+}
+
+/// Compares current vendor hashes against the manifest. Each returned
+/// string is one violation (edited / added / removed file).
+pub fn diff(
+    current: &BTreeMap<String, String>,
+    manifest: &BTreeMap<String, String>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (path, hash) in current {
+        match manifest.get(path) {
+            None => out.push(format!(
+                "`{path}` is not in the manifest (new vendored file?)"
+            )),
+            Some(pinned) if pinned != hash => out.push(format!(
+                "`{path}` was edited without regenerating the manifest \
+                 (hash {hash}, manifest pins {pinned})"
+            )),
+            Some(_) => {}
+        }
+    }
+    for path in manifest.keys() {
+        if !current.contains_key(path) {
+            out.push(format!("`{path}` is in the manifest but missing on disk"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn diff_reports_edit_add_remove() {
+        let mut manifest = BTreeMap::new();
+        manifest.insert("vendor/a".to_string(), "00".to_string());
+        manifest.insert("vendor/gone".to_string(), "11".to_string());
+        let mut current = BTreeMap::new();
+        current.insert("vendor/a".to_string(), "ff".to_string());
+        current.insert("vendor/new".to_string(), "22".to_string());
+        let d = diff(&current, &manifest);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().any(|m| m.contains("edited")), "{d:?}");
+        assert!(d.iter().any(|m| m.contains("not in the manifest")), "{d:?}");
+        assert!(d.iter().any(|m| m.contains("missing on disk")), "{d:?}");
+    }
+
+    #[test]
+    fn identical_hashes_diff_clean() {
+        let mut m = BTreeMap::new();
+        m.insert("vendor/a".to_string(), "00".to_string());
+        assert!(diff(&m, &m).is_empty());
+    }
+}

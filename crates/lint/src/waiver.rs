@@ -1,0 +1,195 @@
+//! Inline waivers: `// freeride: allow(<rule>[, <rule>]) -- <reason>`.
+//!
+//! A waiver is the only sanctioned way to silence a determinism-contract
+//! rule at a specific site, and its reason is **mandatory** — a waiver
+//! without a justification is itself a finding. A waiver suppresses
+//! findings of the named rule(s) on its own line (trailing comment) and on
+//! the line immediately below (standalone comment above the site).
+//!
+//! Waiver hygiene is enforced by the `waiver-discipline` rule:
+//! - malformed syntax (anything starting `// freeride:` that does not
+//!   parse) is a finding,
+//! - an unknown rule name is a finding,
+//! - a missing or empty reason is a finding,
+//! - a waiver that suppressed nothing is a finding (stale waivers rot).
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::{Finding, KNOWN_RULES, WAIVER_DISCIPLINE};
+
+/// One parsed waiver comment.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Line the waiver comment starts on.
+    pub line: u32,
+    /// Rules the waiver names (validated against [`KNOWN_RULES`]).
+    pub rules: Vec<String>,
+    /// Set when the waiver suppresses at least one finding or panic site.
+    pub used: bool,
+}
+
+impl Waiver {
+    /// True if this waiver silences `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        (line == self.line || line == self.line + 1) && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// The marker every waiver comment starts with (after `//` and spaces).
+const MARKER: &str = "freeride:";
+
+/// Extracts waivers from a file's comment tokens. Malformed waivers are
+/// reported as `waiver-discipline` findings instead of being returned.
+pub fn parse_waivers(src: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = tok.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rules, reason)) => {
+                let mut ok = true;
+                for rule in &rules {
+                    if !KNOWN_RULES.contains(&rule.as_str()) {
+                        findings.push(Finding {
+                            rule: WAIVER_DISCIPLINE,
+                            line: tok.line,
+                            message: format!("waiver names unknown rule `{rule}`"),
+                        });
+                        ok = false;
+                    }
+                }
+                if reason.is_empty() {
+                    findings.push(Finding {
+                        rule: WAIVER_DISCIPLINE,
+                        line: tok.line,
+                        message: "waiver reason is mandatory: \
+                                  `// freeride: allow(<rule>) -- <reason>`"
+                            .to_string(),
+                    });
+                    ok = false;
+                }
+                if ok {
+                    waivers.push(Waiver {
+                        line: tok.line,
+                        rules,
+                        used: false,
+                    });
+                }
+            }
+            Err(why) => findings.push(Finding {
+                rule: WAIVER_DISCIPLINE,
+                line: tok.line,
+                message: format!(
+                    "malformed waiver ({why}); expected \
+                     `// freeride: allow(<rule>[, <rule>]) -- <reason>`"
+                ),
+            }),
+        }
+    }
+    waivers
+}
+
+/// Parses `allow(rule, rule) -- reason` into rule names and the reason.
+fn parse_allow(s: &str) -> Result<(Vec<String>, String), &'static str> {
+    let Some(rest) = s.strip_prefix("allow") else {
+        return Err("missing `allow`");
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("missing `(` after `allow`");
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("missing `)`");
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list");
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix("--") else {
+        return Err("missing `--` before the reason");
+    };
+    Ok((rules, reason.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Waiver>, Vec<Finding>) {
+        let toks = lex(src);
+        let mut findings = Vec::new();
+        let waivers = parse_waivers(src, &toks, &mut findings);
+        (waivers, findings)
+    }
+
+    #[test]
+    fn well_formed_waiver_parses() {
+        let (w, f) = parse("// freeride: allow(no-wall-clock) -- measuring real time\n");
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rules, vec!["no-wall-clock"]);
+        assert!(w[0].covers("no-wall-clock", 1));
+        assert!(w[0].covers("no-wall-clock", 2));
+        assert!(!w[0].covers("no-wall-clock", 3));
+        assert!(!w[0].covers("no-ambient-rng", 1));
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let (w, f) =
+            parse("// freeride: allow(no-wall-clock, panic-discipline) -- bench harness\n");
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(w[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_reason_is_a_finding() {
+        let (w, f) = parse("// freeride: allow(no-wall-clock)\n");
+        assert!(w.is_empty());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("reason"), "{}", f[0].message);
+
+        let (w, f) = parse("// freeride: allow(no-wall-clock) -- \n");
+        assert!(w.is_empty());
+        assert!(f[0].message.contains("mandatory"), "{}", f[0].message);
+        assert_eq!(w.len() + f.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let (w, f) = parse("// freeride: allow(no-such-rule) -- because\n");
+        assert!(w.is_empty());
+        assert!(f[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn malformed_marker_is_a_finding() {
+        let (w, f) = parse("// freeride: allowall -- because\n");
+        assert!(w.is_empty());
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (w, f) = parse("// just a comment about freeride the system\n// allow(x)\n");
+        assert!(w.is_empty());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn waiver_text_inside_string_is_ignored() {
+        let (w, f) = parse("let s = \"// freeride: allow(no-wall-clock) -- nope\";\n");
+        assert!(w.is_empty());
+        assert!(f.is_empty());
+    }
+}

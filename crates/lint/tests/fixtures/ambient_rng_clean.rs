@@ -1,0 +1,11 @@
+//! Negative fixture: seeded per-job streams are the sanctioned way to
+//! randomness, and a method merely *named* `random` on one's own seeded
+//! type is not `rand::random`.
+
+pub fn seeded(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+}
+
+pub fn own_method(rng: &mut SimRng) -> u64 {
+    rng.random()
+}

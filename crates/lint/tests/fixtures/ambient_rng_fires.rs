@@ -1,0 +1,10 @@
+//! Positive fixture: every ambient-entropy form must fire
+//! `no-ambient-rng`, regardless of path (the rule has no allowlist).
+
+pub fn entropy_soup() -> u64 {
+    let mut rng = thread_rng();
+    let a: u64 = rand::random();
+    let mut chacha = ChaCha8Rng::from_entropy();
+    let _os = OsRng;
+    a ^ rng.next_u64() ^ chacha.next_u64()
+}

@@ -1,0 +1,3 @@
+//! Crate-root fixture missing the mandatory `#![forbid(unsafe_code)]`.
+
+pub fn innocuous() {}

@@ -1,0 +1,5 @@
+//! Crate-root fixture carrying the mandatory attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn innocuous() {}

@@ -1,0 +1,8 @@
+//! Positive fixture: hash collections in sim-facing code must fire
+//! `no-hash-collections` on every mention.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn unstable_order() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

@@ -1,0 +1,11 @@
+//! Negative fixture (regression): a doc comment that merely *mentions*
+//! `HashSet<u64>` — as the historical note in `crates/sim/src/event.rs`
+//! once did — must not fire `no-hash-collections`. Rules see the token
+//! stream with comments stripped, never comment prose.
+
+/// Liveness is tracked by a slot/generation scheme instead of a
+/// `HashSet<u64>` of live ids; see the module docs.
+pub fn slot_generation_scheme() -> std::collections::BTreeSet<u64> {
+    // A line comment about HashMap<String, u64> is also just prose.
+    std::collections::BTreeSet::new()
+}

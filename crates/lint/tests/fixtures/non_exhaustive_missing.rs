@@ -1,0 +1,6 @@
+//! Vocabulary-enum fixture without the required `#[non_exhaustive]`.
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmitError {
+    Nope,
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: an attributed vocabulary enum passes, and an enum
+//! outside the vocabulary needs no attribute at all.
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    Nope,
+}
+
+#[derive(Debug)]
+pub enum PrivateDetail {
+    A,
+    B,
+}

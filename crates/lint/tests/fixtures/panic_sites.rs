@@ -1,0 +1,26 @@
+//! Panic-discipline fixture: four countable forms in library code, plus
+//! a `#[cfg(test)]` module whose sites must be masked, plus combinators
+//! that merely *contain* the word `unwrap` and must not count.
+
+pub fn panicky(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("fixture invariant");
+    if a == 0 {
+        panic!("fixture");
+    }
+    if b == 255 {
+        unreachable!();
+    }
+    a + b + x.unwrap_or(0) + x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unit_tests_are_exempt() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+        v.expect("test-only");
+        panic!("also exempt");
+    }
+}

@@ -1,0 +1,23 @@
+//! Tokenizer stress fixture: every banned name below lives inside a
+//! string, raw string, or comment. A text-match linter would drown in
+//! false positives here; the lexer must report zero findings and zero
+//! panic sites.
+
+/* Instant::now() inside a block comment.
+   /* nested: thread_rng() and a HashMap too */
+   still the same outer comment: SystemTime and x.unwrap() */
+
+pub fn traps() -> String {
+    let plain = "Instant::now() and SystemTime in a plain string";
+    let raw = r#"thread_rng() and a "HashMap" in a raw string"#;
+    let many = r##"HashSet<u64> and rand::random() beside r#"inner"# hashes"##;
+    let bytes = b"OsRng in a byte string";
+    let raw_bytes = br#"from_entropy in a raw byte string"#;
+    let ch = 'h';
+    let lifetime_not_char: &'static str = "a lifetime, not a char literal";
+    let r#fn = 1u8;
+    format!(
+        "{plain}{raw}{many}{bytes:?}{raw_bytes:?}{ch}{lifetime_not_char}{}",
+        r#fn
+    )
+}

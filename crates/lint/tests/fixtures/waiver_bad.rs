@@ -1,0 +1,11 @@
+//! Waiver-discipline fixture: a reason-free waiver, an unknown-rule
+//! waiver, and a stale waiver must each be reported.
+
+// freeride: allow(no-wall-clock)
+pub fn missing_reason() {}
+
+// freeride: allow(not-a-rule) -- the rule name is wrong
+pub fn unknown_rule() {}
+
+// freeride: allow(no-ambient-rng) -- nothing random within two lines
+pub fn stale() {}

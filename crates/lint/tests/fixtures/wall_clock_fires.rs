@@ -1,0 +1,8 @@
+//! Positive fixture: wall-clock reads in a sim-facing path must fire
+//! `no-wall-clock` once per site.
+
+pub fn naive_timing() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    let _epoch = std::time::SystemTime::now();
+    start.elapsed()
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: the same wall-clock reads as `wall_clock_fires.rs`,
+//! each silenced by a justified waiver on the line above.
+
+pub fn measured_timing() -> std::time::Duration {
+    // freeride: allow(no-wall-clock) -- fixture: harness measures real elapsed time
+    let start = std::time::Instant::now();
+    // freeride: allow(no-wall-clock) -- fixture: log timestamp, never read by sim state
+    let _epoch = std::time::SystemTime::now();
+    start.elapsed()
+}

@@ -9,8 +9,9 @@
 //!
 //! Cancellation is lazy — cancelled entries stay in the heap as tombstones
 //! and are dropped when they surface — but liveness is tracked by a
-//! slot/generation scheme instead of a `HashSet<u64>`: every pending event
-//! owns a slot in a slab, its [`EventId`] stamps the slot's generation, and
+//! slot/generation scheme, not by any hashed set of live ids (the workspace
+//! bans hash collections in sim crates; see `freeride-lint`): every pending
+//! event owns a slot in a slab, its [`EventId`] stamps the slot's generation, and
 //! the slot (generation bumped) is recycled once the heap entry leaves the
 //! heap. Push, cancel, and pop are amortised allocation-free, and a stale
 //! id can never cancel a later event that happens to reuse its slot.

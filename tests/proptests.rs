@@ -61,14 +61,14 @@ proptest! {
             .enumerate()
             .map(|(i, t)| q.push(SimTime::from_nanos(*t), i))
             .collect();
-        let mut cancelled = std::collections::HashSet::new();
+        let mut cancelled = std::collections::BTreeSet::new();
         for idx in cancel_idx {
             let i = idx.index(ids.len());
             if cancelled.insert(i) {
                 prop_assert!(q.cancel(ids[i]));
             }
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         while let Some((_, v)) = q.pop() {
             prop_assert!(!cancelled.contains(&v), "cancelled event delivered");
             seen.insert(v);
